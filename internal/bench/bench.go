@@ -1,0 +1,372 @@
+// Package bench is the benchmark harness that regenerates the paper's
+// evaluation (§5): prefilled key-value structures, worker threads drawing
+// from an operation mix, dedicated updater threads whose throughput is not
+// counted (they exist to abort range queries), time-varying phase schedules,
+// throughput time series, memory ceilings, and a CPU-time energy proxy.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ds"
+	"repro/internal/stm"
+	"repro/internal/workload"
+)
+
+// Config describes one benchmark run (one plotted point).
+type Config struct {
+	TM        string
+	DS        string
+	Threads   int // worker threads (counted in throughput)
+	Updaters  int // dedicated updater threads (not counted)
+	Mix       workload.Mix
+	KeyRange  uint64 // key space; prefill targets half of it
+	Prefill   int
+	Zipf      bool    // zipfian(Theta) keys instead of uniform
+	Theta     float64 // zipf exponent (paper: 0.9)
+	Duration  time.Duration
+	Trials    int
+	Seed      uint64
+	LockTable int
+	// SampleEvery enables a throughput time series (paper Fig 8 samples
+	// every 200ms).
+	SampleEvery time.Duration
+	// Phases replaces Mix/Updaters with a time-varying schedule; phase
+	// Seconds are interpreted as fractions of Duration × len(Phases).
+	Phases []workload.Phase
+	// SizeQueries replaces range queries with full size queries (the
+	// paper's hashmap SQ workload).
+	SizeQueries bool
+}
+
+func (c *Config) fill() {
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.KeyRange == 0 {
+		c.KeyRange = 2 * uint64(c.Prefill)
+	}
+	if c.Duration == 0 {
+		c.Duration = 200 * time.Millisecond
+	}
+	if c.Trials == 0 {
+		c.Trials = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.LockTable == 0 {
+		c.LockTable = 1 << 16
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.9
+	}
+}
+
+// Sample is one time-series point.
+type Sample struct {
+	At  time.Duration
+	Ops uint64 // worker ops completed in this sample window
+}
+
+// Result aggregates one run (averaged over trials).
+type Result struct {
+	Config       Config
+	OpsPerSec    float64 // worker ops/sec (updaters excluded, §5)
+	RQsPerSec    float64 // committed range/size queries per second
+	Commits      uint64
+	Aborts       uint64
+	Starved      uint64 // operations abandoned at the TM's attempt bound
+	Versioned    uint64 // versioned-path commits (Multiverse)
+	ModeSwitches uint64
+	MaxHeapKB    uint64  // peak observed heap during measurement
+	CPUSeconds   float64 // process CPU time consumed (energy proxy)
+	OpsPerCPUSec float64 // throughput per CPU-second ("per joule" analogue)
+	Series       []Sample
+}
+
+// Run executes the configured benchmark and returns averaged results.
+func Run(cfg Config) Result {
+	cfg.fill()
+	var agg Result
+	agg.Config = cfg
+	for trial := 0; trial < cfg.Trials; trial++ {
+		r := runTrial(cfg, cfg.Seed+uint64(trial)*7919)
+		agg.OpsPerSec += r.OpsPerSec
+		agg.RQsPerSec += r.RQsPerSec
+		agg.Commits += r.Commits
+		agg.Aborts += r.Aborts
+		agg.Starved += r.Starved
+		agg.Versioned += r.Versioned
+		agg.ModeSwitches += r.ModeSwitches
+		agg.CPUSeconds += r.CPUSeconds
+		if r.MaxHeapKB > agg.MaxHeapKB {
+			agg.MaxHeapKB = r.MaxHeapKB
+		}
+		if trial == cfg.Trials-1 {
+			agg.Series = r.Series
+		}
+	}
+	n := float64(cfg.Trials)
+	agg.OpsPerSec /= n
+	agg.RQsPerSec /= n
+	agg.CPUSeconds /= n
+	if agg.CPUSeconds > 0 {
+		// Ops per CPU-second: the Fig 10 "throughput per joule" proxy
+		// (joules ∝ CPU-seconds at fixed package power).
+		agg.OpsPerCPUSec = agg.OpsPerSec * cfg.Duration.Seconds() / agg.CPUSeconds
+	}
+	return agg
+}
+
+type workerCounters struct {
+	ops     atomic.Uint64
+	rqs     atomic.Uint64
+	starved atomic.Uint64
+	_       [40]byte
+}
+
+func runTrial(cfg Config, seed uint64) Result {
+	// On machines with fewer cores than benchmark threads, goroutines on
+	// one OS thread only interleave at yield/preemption points, so long
+	// reads almost never race updaters. Raising GOMAXPROCS to the thread
+	// count makes the OS timeslice them mid-transaction, restoring the
+	// contention the paper's multicore testbed has natively.
+	want := cfg.Threads + cfg.Updaters + 1
+	for _, p := range cfg.Phases {
+		if cfg.Threads+p.Updaters+1 > want {
+			want = cfg.Threads + p.Updaters + 1
+		}
+	}
+	if prev := runtime.GOMAXPROCS(0); want > prev {
+		runtime.GOMAXPROCS(want)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	sys := NewTM(cfg.TM, cfg.LockTable)
+	defer sys.Close()
+	m := NewDS(cfg.DS, max(cfg.Prefill*2, 1024))
+	prefill(sys, m, cfg, seed)
+
+	statsBefore := sys.Stats()
+	cpuBefore := processCPUTime()
+
+	var (
+		stop     atomic.Bool
+		phaseIdx atomic.Uint64
+		counters = make([]workerCounters, cfg.Threads)
+		wg       sync.WaitGroup
+	)
+	dist := newDist(cfg)
+	rqSpan := rqSpan(cfg)
+
+	maxUpdaters := cfg.Updaters
+	for _, p := range cfg.Phases {
+		if p.Updaters > maxUpdaters {
+			maxUpdaters = p.Updaters
+		}
+	}
+
+	// Workers.
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := sys.Register()
+			defer th.Unregister()
+			r := workload.NewRng(seed ^ uint64(id+1)*0x9e3779b97f4a7c15)
+			ctr := &counters[id]
+			for !stop.Load() {
+				mix := cfg.Mix
+				if len(cfg.Phases) > 0 {
+					mix = cfg.Phases[phaseIdx.Load()].Mix
+				}
+				op := mix.Sample(r.Float64())
+				key := dist.Draw(r)
+				switch op {
+				case workload.OpSearch:
+					if _, _, ok := ds.Search(th, m, key); !ok {
+						ctr.starved.Add(1)
+						continue
+					}
+				case workload.OpInsert:
+					if _, ok := ds.Insert(th, m, key, key); !ok {
+						ctr.starved.Add(1)
+						continue
+					}
+				case workload.OpDelete:
+					if _, ok := ds.Delete(th, m, key); !ok {
+						ctr.starved.Add(1)
+						continue
+					}
+				case workload.OpRange:
+					ok := false
+					if cfg.SizeQueries {
+						_, ok = ds.Size(th, m)
+					} else {
+						span := rqSpan * uint64(mix.RQSize)
+						_, _, ok = ds.Range(th, m, key, key+span)
+					}
+					if !ok {
+						ctr.starved.Add(1)
+						continue
+					}
+					ctr.rqs.Add(1)
+				}
+				ctr.ops.Add(1)
+			}
+		}(w)
+	}
+	// Dedicated updaters: every transaction writes (insert-else-delete in
+	// one transaction), so none ever commits read-only and they keep
+	// conflicting with range queries (§5 experimental setup).
+	activeUpdaters := int64(cfg.Updaters)
+	var activeUpd atomic.Int64
+	activeUpd.Store(activeUpdaters)
+	for u := 0; u < maxUpdaters; u++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := sys.Register()
+			defer th.Unregister()
+			r := workload.NewRng(seed ^ uint64(id+1000)*0xbf58476d1ce4e5b9)
+			for !stop.Load() {
+				if int64(id) >= activeUpd.Load() {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				key := dist.Draw(r)
+				th.Atomic(func(tx stm.Txn) {
+					if !m.InsertTx(tx, key, key) {
+						m.DeleteTx(tx, key)
+						m.InsertTx(tx, key, key+1)
+					}
+				})
+			}
+		}(u)
+	}
+
+	// Measurement loop: phase switching, sampling, heap watermark.
+	res := Result{Config: cfg}
+	start := time.Now()
+	sampleEvery := cfg.SampleEvery
+	tick := 10 * time.Millisecond
+	if sampleEvery != 0 && sampleEvery < tick {
+		tick = sampleEvery
+	}
+	var lastOps uint64
+	var lastSample time.Duration
+	var ms runtime.MemStats
+	totalDur := cfg.Duration
+	if len(cfg.Phases) > 0 {
+		totalDur = 0
+		for _, p := range cfg.Phases {
+			totalDur += time.Duration(p.Seconds * float64(time.Second))
+		}
+	}
+	for {
+		time.Sleep(tick)
+		elapsed := time.Since(start)
+		if len(cfg.Phases) > 0 {
+			acc := time.Duration(0)
+			for i, p := range cfg.Phases {
+				acc += time.Duration(p.Seconds * float64(time.Second))
+				if elapsed < acc {
+					if phaseIdx.Load() != uint64(i) {
+						phaseIdx.Store(uint64(i))
+						activeUpd.Store(int64(p.Updaters))
+					}
+					break
+				}
+			}
+		}
+		if sampleEvery != 0 && elapsed-lastSample >= sampleEvery {
+			ops := sumOps(counters)
+			res.Series = append(res.Series, Sample{At: elapsed, Ops: ops - lastOps})
+			lastOps = ops
+			lastSample = elapsed
+		}
+		runtime.ReadMemStats(&ms)
+		if kb := ms.HeapAlloc / 1024; kb > res.MaxHeapKB {
+			res.MaxHeapKB = kb
+		}
+		if elapsed >= totalDur {
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	elapsed := time.Since(start).Seconds()
+	ops := sumOps(counters)
+	var rqs, starved uint64
+	for i := range counters {
+		rqs += counters[i].rqs.Load()
+		starved += counters[i].starved.Load()
+	}
+	res.OpsPerSec = float64(ops) / elapsed
+	res.RQsPerSec = float64(rqs) / elapsed
+	res.Starved = starved
+	st := sys.Stats()
+	res.Commits = st.Commits - statsBefore.Commits
+	res.Aborts = st.Aborts - statsBefore.Aborts
+	res.Versioned = st.VersionedCommits - statsBefore.VersionedCommits
+	res.ModeSwitches = st.ModeSwitches - statsBefore.ModeSwitches
+	res.CPUSeconds = processCPUTime() - cpuBefore
+	if res.CPUSeconds > 0 {
+		res.OpsPerCPUSec = res.OpsPerSec / res.CPUSeconds * elapsed
+	}
+	return res
+}
+
+func sumOps(counters []workerCounters) uint64 {
+	var n uint64
+	for i := range counters {
+		n += counters[i].ops.Load()
+	}
+	return n
+}
+
+// prefill inserts random keys until the structure holds cfg.Prefill keys.
+func prefill(sys stm.System, m ds.Map, cfg Config, seed uint64) {
+	th := sys.Register()
+	defer th.Unregister()
+	r := workload.NewRng(seed * 31)
+	n := 0
+	for n < cfg.Prefill {
+		key := r.Next()%cfg.KeyRange + 1
+		if ins, ok := ds.Insert(th, m, key, key); ok && ins {
+			n++
+		}
+	}
+}
+
+func newDist(cfg Config) workload.KeyDist {
+	if cfg.Zipf {
+		return workload.NewZipfian(cfg.KeyRange, cfg.Theta, true)
+	}
+	return workload.Uniform{N: cfg.KeyRange}
+}
+
+// rqSpan converts "RQ of k keys" into a key-space span: with Prefill keys in
+// KeyRange, a span of KeyRange/Prefill covers one key in expectation.
+func rqSpan(cfg Config) uint64 {
+	if cfg.Prefill == 0 {
+		return 1
+	}
+	s := cfg.KeyRange / uint64(cfg.Prefill)
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// String renders a result row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-24s %-8s thr=%-3d upd=%-2d ops/s=%-12.0f rq/s=%-8.2f commits=%-9d aborts=%-9d starved=%-6d heapKB=%-8d ops/cpu-s=%-12.0f",
+		r.Config.TM, r.Config.DS, r.Config.Threads, r.Config.Updaters,
+		r.OpsPerSec, r.RQsPerSec, r.Commits, r.Aborts, r.Starved, r.MaxHeapKB, r.OpsPerCPUSec)
+}

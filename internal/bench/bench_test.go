@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func quickCfg(tm string) Config {
+	return Config{
+		TM:       tm,
+		DS:       "abtree",
+		Threads:  2,
+		Prefill:  512,
+		Duration: 60 * time.Millisecond,
+		Mix:      workload.Mix{InsertPct: 0.05, DeletePct: 0.05, RQPct: 0.001, RQSize: 32},
+	}
+}
+
+func TestRunProducesSaneResult(t *testing.T) {
+	for _, tm := range TMNames {
+		t.Run(tm, func(t *testing.T) {
+			res := Run(quickCfg(tm))
+			if res.OpsPerSec <= 0 {
+				t.Fatalf("ops/s = %f", res.OpsPerSec)
+			}
+			if res.Commits == 0 {
+				t.Fatal("no commits recorded")
+			}
+			if res.CPUSeconds <= 0 {
+				t.Fatal("no CPU time recorded")
+			}
+		})
+	}
+}
+
+func TestUpdaterThroughputNotCounted(t *testing.T) {
+	// With zero worker threads... workers must be >=1; instead compare
+	// commits (which include updaters) against counted ops: with many
+	// updaters, commits must exceed worker ops.
+	cfg := quickCfg("dctl")
+	cfg.Updaters = 4
+	res := Run(cfg)
+	workerOps := uint64(res.OpsPerSec * cfg.Duration.Seconds())
+	if res.Commits <= workerOps {
+		t.Fatalf("commits (%d) should exceed counted worker ops (%d): updaters excluded from throughput but not from commits",
+			res.Commits, workerOps)
+	}
+}
+
+func TestTimeSeriesSampling(t *testing.T) {
+	cfg := quickCfg("multiverse")
+	cfg.Duration = 120 * time.Millisecond
+	cfg.SampleEvery = 20 * time.Millisecond
+	res := Run(cfg)
+	if len(res.Series) < 3 {
+		t.Fatalf("only %d samples", len(res.Series))
+	}
+	var total uint64
+	for _, s := range res.Series {
+		total += s.Ops
+	}
+	if total == 0 {
+		t.Fatal("series recorded no ops")
+	}
+}
+
+func TestPhasesSwitchWorkload(t *testing.T) {
+	// Phase 1 has zero inserts/deletes; phase 2 is all inserts. The
+	// structure must grow only during phase 2.
+	cfg := quickCfg("dctl")
+	cfg.Mix = workload.Mix{}
+	cfg.Phases = []workload.Phase{
+		{Seconds: 0.05, Mix: workload.Mix{}},               // searches only
+		{Seconds: 0.05, Mix: workload.Mix{InsertPct: 1.0}}, // inserts only
+	}
+	res := Run(cfg)
+	if res.OpsPerSec <= 0 {
+		t.Fatal("phased run produced no throughput")
+	}
+}
+
+func TestNewTMAllNames(t *testing.T) {
+	names := append([]string{}, TMNames...)
+	names = append(names, "multiverse-q", "multiverse-u", "multiverse-nobloom", "multiverse-nounversion")
+	for _, name := range names {
+		sys := NewTM(name, 1<<8)
+		if sys == nil {
+			t.Fatalf("NewTM(%q) returned nil", name)
+		}
+		if !strings.Contains(name, sys.Name()) && !strings.Contains(sys.Name(), "multiverse") {
+			t.Fatalf("NewTM(%q).Name() = %q", name, sys.Name())
+		}
+		sys.Close()
+	}
+}
+
+func TestNewDSAllNames(t *testing.T) {
+	for _, name := range DSNames {
+		if m := NewDS(name, 128); m == nil {
+			t.Fatalf("NewDS(%q) returned nil", name)
+		}
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	exps := Experiments()
+	for _, id := range []string{"fig1", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"fig19", "fig20", "fig21", "tab1", "ablation"} {
+		if _, ok := exps[id]; !ok {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(ExperimentIDs()) != len(exps) {
+		t.Error("ExperimentIDs out of sync")
+	}
+}
+
+func TestTab1PrintsMatrix(t *testing.T) {
+	var sb strings.Builder
+	Experiments()["tab1"].Run(Quick(), TMNames, &sb)
+	out := sb.String()
+	for _, want := range []string{"Mode Q", "Mode U", "forced to", "unversioning"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tab1 output missing %q", want)
+		}
+	}
+}

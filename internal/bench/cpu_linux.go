@@ -1,0 +1,20 @@
+//go:build linux
+
+package bench
+
+import "syscall"
+
+// processCPUTime returns user+system CPU seconds consumed by the process.
+// It stands in for the paper's RAPL energy-pkg measurement (Fig 10): at a
+// fixed package power budget, joules are proportional to CPU-seconds, so
+// "ops per joule" orderings are preserved by "ops per CPU-second".
+func processCPUTime() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	sec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return sec(ru.Utime) + sec(ru.Stime)
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package bench
+
+import "time"
+
+var cpuStart = time.Now()
+
+// processCPUTime falls back to wall-clock time on platforms without
+// getrusage; relative comparisons within a run remain meaningful.
+func processCPUTime() float64 { return time.Since(cpuStart).Seconds() }

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/dctl"
+	"repro/internal/ds"
+	"repro/internal/ds/abtree"
+	"repro/internal/ds/avl"
+	"repro/internal/ds/extbst"
+	"repro/internal/ds/hashmap"
+	"repro/internal/mvstm"
+	"repro/internal/norec"
+	"repro/internal/stm"
+	"repro/internal/tinystm"
+	"repro/internal/tl2"
+)
+
+// TMNames lists the systems compared in the paper's plots, in plot order.
+var TMNames = []string{"multiverse", "dctl", "tl2", "tinystm", "norec"}
+
+// baselineMaxAttempts bounds retries for the TMs without a long-read escape
+// hatch; the paper observes them "reach their maximum allowed aborts and
+// quit" on range queries under updaters.
+const baselineMaxAttempts = 20000
+
+// NewTM builds a TM by name. lockTable sizes the lock (and, for Multiverse,
+// VLT/bloom) tables. Multiverse variants "multiverse-q" and "multiverse-u"
+// pin the mode (paper Fig 8 ablations); "multiverse-nobloom" and
+// "multiverse-nounversion" are ablations of those mechanisms.
+func NewTM(name string, lockTable int) stm.System {
+	switch name {
+	case "multiverse":
+		return mvstm.New(mvstm.Config{LockTableSize: lockTable})
+	case "multiverse-q":
+		return mvstm.NewPinned(mvstm.Config{LockTableSize: lockTable}, mvstm.ModeQ)
+	case "multiverse-u":
+		return mvstm.NewPinned(mvstm.Config{LockTableSize: lockTable}, mvstm.ModeU)
+	case "multiverse-nobloom":
+		return mvstm.New(mvstm.Config{LockTableSize: lockTable, DisableBloom: true})
+	case "multiverse-nounversion":
+		return mvstm.New(mvstm.Config{LockTableSize: lockTable, DisableUnversioning: true})
+	case "dctl":
+		return dctl.New(dctl.Config{LockTableSize: lockTable})
+	case "tl2":
+		return tl2.New(tl2.Config{LockTableSize: lockTable, MaxAttempts: baselineMaxAttempts})
+	case "tinystm":
+		return tinystm.New(tinystm.Config{LockTableSize: lockTable, MaxAttempts: baselineMaxAttempts})
+	case "norec":
+		return norec.New(norec.Config{MaxAttempts: baselineMaxAttempts})
+	default:
+		panic(fmt.Sprintf("bench: unknown TM %q", name))
+	}
+}
+
+// DSNames lists the evaluated data structures.
+var DSNames = []string{"abtree", "avl", "extbst", "hashmap"}
+
+// NewDS builds a data structure by name with a key-capacity hint. The
+// hashmap follows the paper: buckets fixed independently of the prefill
+// (scaled to 10× the capacity hint, as 1M buckets vs 100k keys).
+func NewDS(name string, capacity int) ds.Map {
+	switch name {
+	case "abtree":
+		return abtree.New(capacity)
+	case "avl":
+		return avl.New(capacity)
+	case "extbst":
+		return extbst.New(capacity)
+	case "hashmap":
+		return hashmap.New(10*capacity, capacity)
+	default:
+		panic(fmt.Sprintf("bench: unknown data structure %q", name))
+	}
+}

@@ -1,0 +1,54 @@
+// Package bloom implements the per-VLT-bucket bloom filters of Multiverse
+// (paper §3.1.2). Each filter is a single 64-bit word with two hash
+// positions: enough to answer "is any address in this bucket versioned?"
+// with zero false negatives and a low false-positive rate for the short
+// buckets the unversioning heuristic maintains. Filters support only add and
+// reset — items cannot be removed, which is why unversioning clears entire
+// buckets (paper §3.1.3).
+package bloom
+
+import "sync/atomic"
+
+// Filter is a 64-bit, two-hash bloom filter. Adds are atomic so readers on
+// the unversioned fast path never take a lock to consult it.
+type Filter struct{ bits atomic.Uint64 }
+
+// mask derives the two bit positions from the high bits of the address hash.
+// The low bits of the hash select the table bucket, so using high bits keeps
+// the filter discriminating within a bucket.
+func mask(h uint64) uint64 {
+	return 1<<((h>>52)&63) | 1<<((h>>58)&63)
+}
+
+// TryAdd inserts h and reports whether it was (apparently) already present,
+// mirroring the paper's bloomFltr.tryAdd whose failure means "exists
+// already".
+func (f *Filter) TryAdd(h uint64) (wasPresent bool) {
+	m := mask(h)
+	old := f.bits.Or(m)
+	return old&m == m
+}
+
+// Contains reports whether h may have been added. False positives are
+// possible; false negatives are not.
+func (f *Filter) Contains(h uint64) bool {
+	m := mask(h)
+	return f.bits.Load()&m == m
+}
+
+// Reset clears the filter. Callers must hold the bucket's lock: resetting
+// unversions every address that maps to the bucket (paper §3.1.3).
+func (f *Filter) Reset() { f.bits.Store(0) }
+
+// Empty reports whether no address has been added since the last reset.
+func (f *Filter) Empty() bool { return f.bits.Load() == 0 }
+
+// Table is a flat array of filters parallel to the lock table and VLT.
+type Table struct{ filters []Filter }
+
+// NewTable creates a table of n filters (n should equal the lock-table
+// size).
+func NewTable(n int) *Table { return &Table{filters: make([]Filter, n)} }
+
+// At returns the filter for bucket i.
+func (t *Table) At(i uint64) *Filter { return &t.filters[i] }

@@ -1,0 +1,90 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stm"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := func(keys []uint64) bool {
+		var fl Filter
+		for _, k := range keys {
+			h := stm.Mix64(k)
+			fl.TryAdd(h)
+			if !fl.Contains(h) {
+				return false
+			}
+		}
+		// Everything added must still be present.
+		for _, k := range keys {
+			if !fl.Contains(stm.Mix64(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryAddReportsPresence(t *testing.T) {
+	var fl Filter
+	h := stm.Mix64(12345)
+	if fl.TryAdd(h) {
+		t.Fatal("fresh filter claimed presence")
+	}
+	if !fl.TryAdd(h) {
+		t.Fatal("second add not reported as present")
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	var fl Filter
+	for k := uint64(0); k < 50; k++ {
+		fl.TryAdd(stm.Mix64(k))
+	}
+	if fl.Empty() {
+		t.Fatal("filter empty after adds")
+	}
+	fl.Reset()
+	if !fl.Empty() {
+		t.Fatal("filter not empty after reset")
+	}
+	if fl.Contains(stm.Mix64(1)) {
+		// With both bit positions possibly equal this could never
+		// fire spuriously after reset: bits are zero.
+		t.Fatal("reset filter claims containment")
+	}
+}
+
+func TestFalsePositiveRateModest(t *testing.T) {
+	// One filter guards one bucket; buckets hold few addresses. With 4
+	// addresses added, probes of absent addresses should mostly miss.
+	var fl Filter
+	for k := uint64(0); k < 4; k++ {
+		fl.TryAdd(stm.Mix64(k * 7919))
+	}
+	fp := 0
+	const probes = 10000
+	for k := uint64(0); k < probes; k++ {
+		if fl.Contains(stm.Mix64(k*104729 + 13)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.15 {
+		t.Fatalf("false positive rate %.3f too high for a 4-entry filter", rate)
+	}
+}
+
+func TestTableIndependence(t *testing.T) {
+	tbl := NewTable(8)
+	tbl.At(3).TryAdd(stm.Mix64(99))
+	for i := uint64(0); i < 8; i++ {
+		if i != 3 && !tbl.At(i).Empty() {
+			t.Fatalf("filter %d polluted by add to filter 3", i)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package dctl implements Deferred Clock Transactional Locking (Ramalhete &
+// Correia, PPoPP 2024), the fastest unversioned STM at the time of the paper
+// and the baseline Multiverse's unversioned path is modelled on:
+// encounter-time locking and in-place writes with an undo log, a global
+// clock that is incremented only on aborts, and a starvation-free mode in
+// which a single transaction at a time becomes irrevocable after a bounded
+// number of aborts, claiming locks even on reads.
+package dctl
+
+import (
+	"runtime"
+
+	"repro/internal/ebr"
+	"repro/internal/gclock"
+	"repro/internal/stm"
+	"repro/internal/vlock"
+)
+
+// Config tunes a DCTL instance.
+type Config struct {
+	// LockTableSize is the number of versioned locks (rounded up to a
+	// power of two). Default 1<<20.
+	LockTableSize int
+	// IrrevocableAfter is the abort count after which a transaction
+	// falls back to the irrevocable starvation-free path. The paper's
+	// evaluation uses 100. Default 100.
+	IrrevocableAfter int
+}
+
+func (c *Config) fill() {
+	if c.LockTableSize == 0 {
+		c.LockTableSize = 1 << 20
+	}
+	if c.IrrevocableAfter == 0 {
+		c.IrrevocableAfter = 100
+	}
+}
+
+// System is a DCTL instance.
+type System struct {
+	cfg   Config
+	clock gclock.Clock
+	locks *vlock.Table
+	ebr   *ebr.Domain
+	reg   stm.Registry
+	tids  stm.Word
+	irrev stm.Word // 1 while an irrevocable transaction is running
+	_     [48]byte
+}
+
+// New creates a DCTL instance.
+func New(cfg Config) *System {
+	cfg.fill()
+	s := &System{cfg: cfg, locks: vlock.NewTable(cfg.LockTableSize), ebr: ebr.NewDomain()}
+	s.clock.Set(1)
+	return s
+}
+
+// Name implements stm.System.
+func (s *System) Name() string { return "dctl" }
+
+// Stats implements stm.System.
+func (s *System) Stats() stm.Stats { return s.reg.Aggregate() }
+
+// Close implements stm.System.
+func (s *System) Close() { s.ebr.Drain() }
+
+// Register implements stm.System.
+func (s *System) Register() stm.Thread {
+	for {
+		v := s.tids.Load()
+		if s.tids.CompareAndSwap(v, v+1) {
+			t := &thread{sys: s, tid: int(v%(1<<14-1)) + 1, ebr: s.ebr.Register()}
+			t.txn.t = t
+			s.reg.Add(&t.ctr)
+			return t
+		}
+		runtime.Gosched()
+	}
+}
+
+type thread struct {
+	sys *System
+	tid int
+	ebr *ebr.Handle
+	ctr stm.Counters
+	txn txn
+}
+
+type undoEntry struct {
+	w   *stm.Word
+	old uint64
+}
+
+type txn struct {
+	stm.Hooks
+	t           *thread
+	rClock      uint64
+	readOnly    bool
+	irrevocable bool
+	reads       []*vlock.Lock
+	undo        []undoEntry
+	locked      []*vlock.Lock
+}
+
+// Atomic implements stm.Thread.
+func (t *thread) Atomic(fn func(stm.Txn)) bool { return t.run(fn, false) }
+
+// ReadOnly implements stm.Thread.
+func (t *thread) ReadOnly(fn func(stm.Txn)) bool { return t.run(fn, true) }
+
+// Unregister implements stm.Thread.
+func (t *thread) Unregister() { t.ebr.Unregister() }
+
+func (t *thread) run(fn func(stm.Txn), readOnly bool) bool {
+	tx := &t.txn
+	for attempt := 1; ; attempt++ {
+		if attempt > t.sys.cfg.IrrevocableAfter {
+			return t.runIrrevocable(fn, readOnly)
+		}
+		tx.begin(readOnly, false)
+		t.ebr.Pin()
+		oc := stm.RunAttempt(func() {
+			fn(tx)
+			tx.commit()
+		})
+		t.ebr.Unpin()
+		switch oc {
+		case stm.Committed:
+			tx.RunCommit(t.ebr.Retire)
+			t.ctr.Commits.Add(1)
+			if readOnly {
+				t.ctr.ReadOnlyCommits.Add(1)
+			}
+			return true
+		case stm.Cancelled:
+			tx.rollback()
+			return false
+		}
+		tx.rollback()
+		t.ctr.Aborts.Add(1)
+		stm.Backoff(attempt)
+	}
+}
+
+// runIrrevocable executes fn on the starvation-free path. At most one
+// irrevocable transaction runs at a time (spin-acquired flag); it claims
+// locks on reads as well as writes and waits for busy locks instead of
+// aborting, so it cannot be aborted by concurrent transactions.
+func (t *thread) runIrrevocable(fn func(stm.Txn), readOnly bool) bool {
+	sys := t.sys
+	for !sys.irrev.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+	tx := &t.txn
+	tx.begin(readOnly, true)
+	t.ebr.Pin()
+	oc := stm.RunAttempt(func() {
+		fn(tx)
+		tx.commit()
+	})
+	t.ebr.Unpin()
+	if oc == stm.Conflicted {
+		// Irrevocable reads and writes never signal conflicts.
+		panic("dctl: irrevocable transaction aborted")
+	}
+	if oc == stm.Cancelled {
+		tx.rollback()
+		sys.irrev.Store(0)
+		return false
+	}
+	tx.RunCommit(t.ebr.Retire)
+	sys.irrev.Store(0)
+	t.ctr.Commits.Add(1)
+	t.ctr.Irrevocable.Add(1)
+	if readOnly {
+		t.ctr.ReadOnlyCommits.Add(1)
+	}
+	return true
+}
+
+func (tx *txn) begin(readOnly, irrevocable bool) {
+	tx.Reset()
+	tx.readOnly = readOnly
+	tx.irrevocable = irrevocable
+	tx.reads = tx.reads[:0]
+	tx.undo = tx.undo[:0]
+	tx.locked = tx.locked[:0]
+	tx.rClock = tx.t.sys.clock.Load()
+}
+
+// rollback restores in-place writes and releases write locks with a freshly
+// incremented clock (paper Listing 1 abort: nextClock = gClock.increment();
+// writeSet.unlock(nextClock)). This is the only place DCTL's clock advances.
+func (tx *txn) rollback() {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.undo[i].w.Store(tx.undo[i].old)
+	}
+	tx.undo = tx.undo[:0]
+	// The clock advances on every abort — DCTL's deferred clock. Without
+	// this a reader conflicting on version == rClock would retry with
+	// the same read clock forever.
+	next := tx.t.sys.clock.Increment()
+	for _, l := range tx.locked {
+		l.Release(next)
+	}
+	tx.locked = tx.locked[:0]
+	tx.RunAbort()
+}
+
+func (tx *txn) validate(s vlock.State) bool {
+	if s.Held() && s.TID() == tx.t.tid {
+		return true
+	}
+	if s.Held() {
+		return false
+	}
+	return s.Version() < tx.rClock
+}
+
+// acquire spins until it owns l (irrevocable path only).
+func (tx *txn) acquire(l *vlock.Lock) {
+	for {
+		if s := l.Load(); !s.Held() {
+			if l.CompareAndSwap(s, vlock.Pack(true, false, tx.t.tid, s.Version())) {
+				tx.locked = append(tx.locked, l)
+				return
+			}
+		} else if s.TID() == tx.t.tid {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// Read implements stm.Txn.
+func (tx *txn) Read(w *stm.Word) uint64 {
+	l := tx.t.sys.locks.Of(w)
+	if tx.irrevocable {
+		tx.acquire(l)
+		return w.Load()
+	}
+	v := w.Load()
+	if !tx.validate(l.Load()) {
+		stm.AbortAttempt()
+	}
+	// Read-only transactions skip the read set: per-read validation
+	// suffices and tryCommit returns immediately for them (Listing 1
+	// line 15). This is exactly what permits the §4.5 reclamation race.
+	if !tx.readOnly {
+		tx.reads = append(tx.reads, l)
+	}
+	return v
+}
+
+// Write implements stm.Txn: encounter-time locking and writing.
+func (tx *txn) Write(w *stm.Word, v uint64) {
+	if tx.readOnly {
+		panic("dctl: Write inside ReadOnly transaction")
+	}
+	l := tx.t.sys.locks.Of(w)
+	if tx.irrevocable {
+		tx.acquire(l)
+		tx.undo = append(tx.undo, undoEntry{w, w.Load()})
+		w.Store(v)
+		return
+	}
+	s := l.Load()
+	if s.Held() && s.TID() == tx.t.tid {
+		tx.undo = append(tx.undo, undoEntry{w, w.Load()})
+		w.Store(v)
+		return
+	}
+	if s.Held() || s.Version() >= tx.rClock {
+		stm.AbortAttempt()
+	}
+	if !l.CompareAndSwap(s, vlock.Pack(true, false, tx.t.tid, s.Version())) {
+		stm.AbortAttempt()
+	}
+	tx.locked = append(tx.locked, l)
+	tx.undo = append(tx.undo, undoEntry{w, w.Load()})
+	w.Store(v)
+}
+
+func (tx *txn) commit() {
+	if tx.readOnly && !tx.irrevocable {
+		return
+	}
+	if !tx.irrevocable {
+		for _, l := range tx.reads {
+			if !tx.validate(l.Load()) {
+				stm.AbortAttempt()
+			}
+		}
+	}
+	// Irrevocable transactions lock even their reads, so a read-only
+	// irrevocable commit still has locks to release below.
+	if len(tx.locked) == 0 {
+		tx.undo = tx.undo[:0]
+		return
+	}
+	commitClock := tx.t.sys.clock.Load()
+	for _, l := range tx.locked {
+		l.Release(commitClock)
+	}
+	tx.locked = tx.locked[:0]
+	tx.undo = tx.undo[:0]
+}

@@ -1,0 +1,88 @@
+package abtree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dctl"
+	"repro/internal/ds"
+	"repro/internal/ds/dstest"
+	"repro/internal/mvstm"
+	"repro/internal/stm"
+)
+
+func newDCTL() stm.System { return dctl.New(dctl.Config{LockTableSize: 1 << 12}) }
+func newMV() stm.System   { return mvstm.New(mvstm.Config{LockTableSize: 1 << 12}) }
+
+func TestModelDCTL(t *testing.T) {
+	sys := newDCTL()
+	defer sys.Close()
+	dstest.Model(t, sys, New(4096), 4000, 512, 1)
+}
+
+func TestModelMultiverse(t *testing.T) {
+	sys := newMV()
+	defer sys.Close()
+	dstest.Model(t, sys, New(4096), 4000, 512, 2)
+}
+
+func TestModelSmallKeyRange(t *testing.T) {
+	// Heavy duplicate churn: exercises splits/unlinks around the same keys.
+	sys := newDCTL()
+	defer sys.Close()
+	dstest.Model(t, sys, New(256), 4000, 24, 3)
+}
+
+func TestSetProperty(t *testing.T) {
+	sys := newDCTL()
+	defer sys.Close()
+	m := New(1 << 16)
+	if err := quick.Check(dstest.SetProperty(sys, m), &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentToggles(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		new  func() stm.System
+	}{{"dctl", newDCTL}, {"multiverse", newMV}} {
+		t.Run(mk.name, func(t *testing.T) {
+			sys := mk.new()
+			defer sys.Close()
+			dstest.Concurrent(t, sys, New(4096), 128, 4, 400)
+		})
+	}
+}
+
+// TestSplitChains inserts ascending keys so every leaf and internal split
+// path triggers, then deletes everything to exercise empty-node unlinking
+// down to an empty root.
+func TestSplitChains(t *testing.T) {
+	sys := newDCTL()
+	defer sys.Close()
+	th := sys.Register()
+	defer th.Unregister()
+	tr := New(4096)
+	const n = 3000
+	for i := uint64(1); i <= n; i++ {
+		if ins, ok := ds.Insert(th, tr, i, i); !ok || !ins {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if cnt, sum, _ := ds.Range(th, tr, 1, n); cnt != n || sum != n*(n+1)/2 {
+		t.Fatalf("range got (%d,%d) want (%d,%d)", cnt, sum, n, n*(n+1)/2)
+	}
+	for i := uint64(1); i <= n; i++ {
+		if del, ok := ds.Delete(th, tr, i); !ok || !del {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if sz, _ := ds.Size(th, tr); sz != 0 {
+		t.Fatalf("size after draining = %d", sz)
+	}
+	// Tree must be reusable after total drain.
+	if ins, _ := ds.Insert(th, tr, 7, 7); !ins {
+		t.Fatal("reinsert after drain failed")
+	}
+}

@@ -1,0 +1,132 @@
+package abtree
+
+import (
+	"testing"
+
+	"repro/internal/dctl"
+	"repro/internal/ds"
+	"repro/internal/stm"
+	"repro/internal/workload"
+)
+
+// checkStructure validates the (a,b)-tree shape in one transaction:
+// keys sorted within nodes, separators equal to the minimum key of their
+// subtree, all keys within the parent-imposed bounds, node sizes in
+// [1, B], and all leaves reachable.
+func checkStructure(t *testing.T, th stm.Thread, tr *Tree) (keys int) {
+	t.Helper()
+	var problem string
+	th.ReadOnly(func(tx stm.Txn) {
+		problem = ""
+		keys = 0
+		root := tx.Read(&tr.root)
+		if root == 0 {
+			return
+		}
+		var rec func(idx, lo, hi uint64) uint64 // returns subtree min key
+		rec = func(idx, lo, hi uint64) uint64 {
+			n := tr.ar.Get(idx)
+			size := int(tx.Read(&n.size))
+			if size < 1 || size > B {
+				problem = "node size out of range"
+				return 0
+			}
+			if tx.Read(&n.leaf) == 1 {
+				var prev uint64
+				for i := 0; i < size; i++ {
+					k := tx.Read(&n.keys[i])
+					if i > 0 && k <= prev {
+						problem = "leaf keys not strictly ascending"
+					}
+					if k < lo || k >= hi {
+						problem = "leaf key outside separator bounds"
+					}
+					prev = k
+					keys++
+				}
+				return tx.Read(&n.keys[0])
+			}
+			var min uint64
+			for i := 0; i < size; i++ {
+				clo, chi := lo, hi
+				if i >= 1 {
+					clo = tx.Read(&n.keys[i])
+				}
+				if i+1 < size {
+					chi = tx.Read(&n.keys[i+1])
+				}
+				if clo >= chi {
+					problem = "separators not ascending"
+				}
+				childMin := rec(tx.Read(&n.vals[i]), clo, chi)
+				// Separators are lower bounds, not exact minima:
+				// deleting a leaf's first key legitimately leaves
+				// the parent separator below the new minimum.
+				if i >= 1 && childMin < tx.Read(&n.keys[i]) {
+					problem = "subtree contains a key below its separator"
+				}
+				if i == 0 {
+					min = childMin
+				}
+			}
+			return min
+		}
+		rec(root, 0, ^uint64(0))
+	})
+	if problem != "" {
+		t.Fatal(problem)
+	}
+	return keys
+}
+
+func TestStructuralInvariantsUnderChurn(t *testing.T) {
+	sys := dctl.New(dctl.Config{LockTableSize: 1 << 12})
+	defer sys.Close()
+	th := sys.Register()
+	defer th.Unregister()
+	tr := New(4096)
+	r := workload.NewRng(77)
+	live := map[uint64]bool{}
+	for i := 0; i < 8000; i++ {
+		k := r.Next()%700 + 1
+		if r.Intn(2) == 0 {
+			if ins, _ := ds.Insert(th, tr, k, k); ins {
+				live[k] = true
+			}
+		} else {
+			if del, _ := ds.Delete(th, tr, k); del {
+				delete(live, k)
+			}
+		}
+		if i%1000 == 999 {
+			if got := checkStructure(t, th, tr); got != len(live) {
+				t.Fatalf("structure holds %d keys, model %d", got, len(live))
+			}
+		}
+	}
+}
+
+func TestSeparatorBoundsAfterRootCollapse(t *testing.T) {
+	sys := dctl.New(dctl.Config{LockTableSize: 1 << 12})
+	defer sys.Close()
+	th := sys.Register()
+	defer th.Unregister()
+	tr := New(1024)
+	// Grow three levels, then delete down to a handful of keys so the
+	// root collapses repeatedly.
+	for k := uint64(1); k <= 600; k++ {
+		ds.Insert(th, tr, k, k)
+	}
+	checkStructure(t, th, tr)
+	for k := uint64(1); k <= 590; k++ {
+		ds.Delete(th, tr, k)
+	}
+	if got := checkStructure(t, th, tr); got != 10 {
+		t.Fatalf("got %d keys want 10", got)
+	}
+	for k := uint64(591); k <= 600; k++ {
+		if v, found, _ := ds.Search(th, tr, k); !found || v != k {
+			t.Fatalf("survivor %d missing", k)
+		}
+	}
+}

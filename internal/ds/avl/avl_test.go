@@ -1,0 +1,132 @@
+package avl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dctl"
+	"repro/internal/ds"
+	"repro/internal/ds/dstest"
+	"repro/internal/mvstm"
+	"repro/internal/stm"
+)
+
+func newDCTL() stm.System { return dctl.New(dctl.Config{LockTableSize: 1 << 12}) }
+func newMV() stm.System   { return mvstm.New(mvstm.Config{LockTableSize: 1 << 12}) }
+
+func TestModelDCTL(t *testing.T) {
+	sys := newDCTL()
+	defer sys.Close()
+	dstest.Model(t, sys, New(4096), 4000, 512, 11)
+}
+
+func TestModelMultiverse(t *testing.T) {
+	sys := newMV()
+	defer sys.Close()
+	dstest.Model(t, sys, New(4096), 4000, 512, 12)
+}
+
+func TestSetProperty(t *testing.T) {
+	sys := newDCTL()
+	defer sys.Close()
+	m := New(1 << 16)
+	if err := quick.Check(dstest.SetProperty(sys, m), &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentToggles(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		new  func() stm.System
+	}{{"dctl", newDCTL}, {"multiverse", newMV}} {
+		t.Run(mk.name, func(t *testing.T) {
+			sys := mk.new()
+			defer sys.Close()
+			dstest.Concurrent(t, sys, New(4096), 128, 4, 400)
+		})
+	}
+}
+
+// TestBalance checks the AVL invariant (subtree heights differ by at most
+// one, stored heights correct) after adversarial ascending, descending and
+// random insert/delete sequences.
+func TestBalance(t *testing.T) {
+	sys := newDCTL()
+	defer sys.Close()
+	th := sys.Register()
+	defer th.Unregister()
+	tr := New(4096)
+	const n = 1024
+	for i := uint64(1); i <= n; i++ { // ascending: worst case for rotations
+		ds.Insert(th, tr, i, i)
+	}
+	for i := uint64(2 * n); i > n; i-- { // descending on top
+		ds.Insert(th, tr, i, i)
+	}
+	checkAVL(t, th, tr)
+	for i := uint64(1); i <= 2*n; i += 3 {
+		ds.Delete(th, tr, i)
+	}
+	checkAVL(t, th, tr)
+	if sz, _ := ds.Size(th, tr); sz == 0 {
+		t.Fatal("tree unexpectedly empty")
+	}
+}
+
+// checkAVL validates heights and balance factors of every node in one
+// read-only transaction.
+func checkAVL(t *testing.T, th stm.Thread, tr *Tree) {
+	t.Helper()
+	var violation string
+	th.ReadOnly(func(tx stm.Txn) {
+		violation = ""
+		var rec func(idx uint64) uint64
+		rec = func(idx uint64) uint64 {
+			if idx == 0 {
+				return 0
+			}
+			n := tr.ar.Get(idx)
+			hl := rec(tx.Read(&n.left))
+			hr := rec(tx.Read(&n.right))
+			h := max(hl, hr) + 1
+			if got := tx.Read(&n.height); got != h {
+				violation = "stored height mismatch"
+			}
+			d := int64(hl) - int64(hr)
+			if d < -1 || d > 1 {
+				violation = "balance factor out of range"
+			}
+			return h
+		}
+		rec(tx.Read(&tr.root))
+	})
+	if violation != "" {
+		t.Fatal(violation)
+	}
+}
+
+// TestSuccessorDelete targets the two-child deletion path specifically.
+func TestSuccessorDelete(t *testing.T) {
+	sys := newDCTL()
+	defer sys.Close()
+	th := sys.Register()
+	defer th.Unregister()
+	tr := New(256)
+	for _, k := range []uint64{50, 30, 70, 20, 40, 60, 80, 65, 75} {
+		ds.Insert(th, tr, k, k*2)
+	}
+	// 70 has two children; successor is 75.
+	if del, _ := ds.Delete(th, tr, 70); !del {
+		t.Fatal("delete(70) failed")
+	}
+	if _, found, _ := ds.Search(th, tr, 70); found {
+		t.Fatal("70 still present")
+	}
+	for _, k := range []uint64{50, 30, 20, 40, 60, 80, 65, 75} {
+		if v, found, _ := ds.Search(th, tr, k); !found || v != k*2 {
+			t.Fatalf("key %d lost after successor delete", k)
+		}
+	}
+	checkAVL(t, th, tr)
+}

@@ -1,0 +1,83 @@
+// Package ds defines the common interface of the transactional key-value
+// data structures used in the paper's evaluation ((a,b)-tree, internal AVL
+// tree, external BST, hashmap), plus transaction-running convenience
+// wrappers. All structures are built purely from stm.Word cells and
+// index-based arenas, so a single implementation runs unchanged on every TM.
+package ds
+
+import "repro/internal/stm"
+
+// Map is a transactional ordered (except hashmap) key-value map over uint64
+// keys (key 0 is reserved). The *Tx methods run inside a caller-provided
+// transaction and therefore compose; the package-level wrappers run one
+// operation per transaction, as the paper's benchmark does.
+type Map interface {
+	// InsertTx adds key→val if absent; reports whether it inserted.
+	InsertTx(tx stm.Txn, key, val uint64) bool
+	// DeleteTx removes key; reports whether it was present.
+	DeleteTx(tx stm.Txn, key uint64) bool
+	// SearchTx returns the value stored under key.
+	SearchTx(tx stm.Txn, key uint64) (uint64, bool)
+	// RangeTx visits all keys in [lo, hi] and returns their count and
+	// key sum (the paper's range query; key sum doubles as a
+	// consistency check).
+	RangeTx(tx stm.Txn, lo, hi uint64) (count int, keySum uint64)
+	// SizeTx counts all keys (the paper's hashmap size query).
+	SizeTx(tx stm.Txn) int
+}
+
+// Visitor is implemented by structures that can enumerate key/value pairs
+// inside a transaction. Combined with a read-only (versioned) transaction it
+// yields an atomic snapshot of the whole structure — the substrate for the
+// consistent serialization the paper's layout-preserving design enables.
+type Visitor interface {
+	// VisitTx calls fn for every key in [lo, hi], in key order for the
+	// ordered structures.
+	VisitTx(tx stm.Txn, lo, hi uint64, fn func(key, val uint64))
+}
+
+// KV is one exported pair.
+type KV struct{ Key, Val uint64 }
+
+// Export atomically snapshots m's pairs in [lo, hi]. The snapshot is
+// serializable with encoding/gob or encoding/json as-is.
+func Export(th stm.Thread, m Visitor, lo, hi uint64) (pairs []KV, ok bool) {
+	ok = th.ReadOnly(func(tx stm.Txn) {
+		pairs = pairs[:0] // the body may re-run
+		m.VisitTx(tx, lo, hi, func(k, v uint64) {
+			pairs = append(pairs, KV{k, v})
+		})
+	})
+	return pairs, ok
+}
+
+// Insert runs InsertTx in its own update transaction. ok=false means the
+// transaction starved (hit its TM's attempt bound) or was cancelled.
+func Insert(th stm.Thread, m Map, key, val uint64) (inserted, ok bool) {
+	ok = th.Atomic(func(tx stm.Txn) { inserted = m.InsertTx(tx, key, val) })
+	return
+}
+
+// Delete runs DeleteTx in its own update transaction.
+func Delete(th stm.Thread, m Map, key uint64) (deleted, ok bool) {
+	ok = th.Atomic(func(tx stm.Txn) { deleted = m.DeleteTx(tx, key) })
+	return
+}
+
+// Search runs SearchTx in its own read-only transaction.
+func Search(th stm.Thread, m Map, key uint64) (val uint64, found, ok bool) {
+	ok = th.ReadOnly(func(tx stm.Txn) { val, found = m.SearchTx(tx, key) })
+	return
+}
+
+// Range runs RangeTx in its own read-only transaction.
+func Range(th stm.Thread, m Map, lo, hi uint64) (count int, keySum uint64, ok bool) {
+	ok = th.ReadOnly(func(tx stm.Txn) { count, keySum = m.RangeTx(tx, lo, hi) })
+	return
+}
+
+// Size runs SizeTx in its own read-only transaction.
+func Size(th stm.Thread, m Map) (n int, ok bool) {
+	ok = th.ReadOnly(func(tx stm.Txn) { n = m.SizeTx(tx) })
+	return
+}

@@ -1,0 +1,213 @@
+// Package dstest is the shared correctness harness for the transactional
+// data structures: model-based random testing against a Go map, property
+// tests, and concurrent invariant workloads run on any TM.
+package dstest
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ds"
+	"repro/internal/stm"
+	"repro/internal/workload"
+)
+
+// Model runs ops random operations on m and a map[uint64]uint64 model,
+// failing on any divergence (search results, insert/delete outcomes, range
+// counts and key sums, and full sizes).
+func Model(t *testing.T, sys stm.System, m ds.Map, ops int, keyRange uint64, seed uint64) {
+	t.Helper()
+	th := sys.Register()
+	defer th.Unregister()
+	model := make(map[uint64]uint64)
+	r := workload.NewRng(seed)
+	for i := 0; i < ops; i++ {
+		key := r.Next()%keyRange + 1
+		switch r.Intn(10) {
+		case 0, 1, 2: // insert
+			val := r.Next()
+			ins, ok := ds.Insert(th, m, key, val)
+			if !ok {
+				t.Fatalf("op %d: insert txn failed", i)
+			}
+			_, existed := model[key]
+			if ins == existed {
+				t.Fatalf("op %d: insert(%d)=%v but existed=%v", i, key, ins, existed)
+			}
+			if !existed {
+				model[key] = val
+			}
+		case 3, 4: // delete
+			del, ok := ds.Delete(th, m, key)
+			if !ok {
+				t.Fatalf("op %d: delete txn failed", i)
+			}
+			_, existed := model[key]
+			if del != existed {
+				t.Fatalf("op %d: delete(%d)=%v but existed=%v", i, key, del, existed)
+			}
+			delete(model, key)
+		case 5, 6, 7: // search
+			v, found, ok := ds.Search(th, m, key)
+			if !ok {
+				t.Fatalf("op %d: search txn failed", i)
+			}
+			mv, existed := model[key]
+			if found != existed || (found && v != mv) {
+				t.Fatalf("op %d: search(%d)=(%d,%v) model=(%d,%v)", i, key, v, found, mv, existed)
+			}
+		case 8: // range
+			lo := r.Next()%keyRange + 1
+			hi := lo + r.Next()%(keyRange/4+1)
+			count, sum, ok := ds.Range(th, m, lo, hi)
+			if !ok {
+				t.Fatalf("op %d: range txn failed", i)
+			}
+			wc, ws := 0, uint64(0)
+			for k := range model {
+				if k >= lo && k <= hi {
+					wc++
+					ws += k
+				}
+			}
+			if count != wc || sum != ws {
+				t.Fatalf("op %d: range[%d,%d]=(%d,%d) model=(%d,%d)", i, lo, hi, count, sum, wc, ws)
+			}
+		default: // size
+			n, ok := ds.Size(th, m)
+			if !ok {
+				t.Fatalf("op %d: size txn failed", i)
+			}
+			if n != len(model) {
+				t.Fatalf("op %d: size=%d model=%d", i, n, len(model))
+			}
+		}
+	}
+}
+
+// Concurrent prefills pairs of keys (2i present, 2i+1 absent), then runs
+// workers toggling pairs atomically while checkers assert that every
+// range-query snapshot sees exactly one key per pair. It exercises the full
+// TM stack underneath composed multi-operation transactions.
+func Concurrent(t *testing.T, sys stm.System, m ds.Map, pairs, workers, togglesPerWorker int) {
+	t.Helper()
+	init := sys.Register()
+	for i := 0; i < pairs; i++ {
+		if ins, ok := ds.Insert(init, m, uint64(2*i+2), uint64(i)); !ok || !ins {
+			t.Fatalf("prefill insert %d failed", i)
+		}
+	}
+	init.Unregister()
+	maxKey := uint64(2*pairs + 3)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	bad := make(chan string, 16)
+	// Checker: full-range query must always count exactly `pairs` keys.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := sys.Register()
+		defer th.Unregister()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			count, _, ok := ds.Range(th, m, 1, maxKey)
+			if ok && count != pairs {
+				select {
+				case bad <- "range snapshot saw wrong pair count":
+				default:
+				}
+				return
+			}
+		}
+	}()
+	var workerWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		go func(seed uint64) {
+			defer workerWG.Done()
+			th := sys.Register()
+			defer th.Unregister()
+			r := workload.NewRng(seed)
+			for i := 0; i < togglesPerWorker; i++ {
+				pair := uint64(r.Intn(pairs))
+				even, odd := 2*pair+2, 2*pair+3
+				th.Atomic(func(tx stm.Txn) {
+					if m.DeleteTx(tx, even) {
+						m.InsertTx(tx, odd, pair)
+					} else {
+						m.DeleteTx(tx, odd)
+						m.InsertTx(tx, even, pair)
+					}
+				})
+			}
+		}(uint64(w + 1))
+	}
+	workerWG.Wait()
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-bad:
+		t.Fatal(msg)
+	default:
+	}
+	// Final integrity: exactly one of each pair present.
+	th := sys.Register()
+	defer th.Unregister()
+	for i := 0; i < pairs; i++ {
+		even, odd := uint64(2*i+2), uint64(2*i+3)
+		_, fe, _ := ds.Search(th, m, even)
+		_, fo, _ := ds.Search(th, m, odd)
+		if fe == fo {
+			t.Fatalf("pair %d: even=%v odd=%v (want exactly one)", i, fe, fo)
+		}
+	}
+	if n, ok := ds.Size(th, m); !ok || n != pairs {
+		t.Fatalf("final size=%d want %d", n, pairs)
+	}
+}
+
+// SetProperty checks, for an arbitrary insert/delete script, that the map
+// ends with exactly the surviving keys (testing/quick drives it).
+func SetProperty(sys stm.System, m ds.Map) func(keys []uint16, deletes []uint16) bool {
+	return func(keys []uint16, deletes []uint16) bool {
+		th := sys.Register()
+		defer th.Unregister()
+		model := make(map[uint64]bool)
+		for _, k := range keys {
+			key := uint64(k) + 1
+			ins, ok := ds.Insert(th, m, key, key*3)
+			if !ok || ins == model[key] {
+				return false
+			}
+			model[key] = true
+		}
+		for _, k := range deletes {
+			key := uint64(k) + 1
+			del, ok := ds.Delete(th, m, key)
+			if !ok || del != model[key] {
+				return false
+			}
+			delete(model, key)
+		}
+		for k := range model {
+			v, found, ok := ds.Search(th, m, k)
+			if !ok || !found || v != k*3 {
+				return false
+			}
+		}
+		n, ok := ds.Size(th, m)
+		if !ok || n != len(model) {
+			return false
+		}
+		// Drain the survivors so the map can be reused.
+		for k := range model {
+			ds.Delete(th, m, k)
+		}
+		return true
+	}
+}

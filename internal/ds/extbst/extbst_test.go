@@ -1,0 +1,92 @@
+package extbst
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dctl"
+	"repro/internal/ds"
+	"repro/internal/ds/dstest"
+	"repro/internal/mvstm"
+	"repro/internal/stm"
+)
+
+func newDCTL() stm.System { return dctl.New(dctl.Config{LockTableSize: 1 << 12}) }
+func newMV() stm.System   { return mvstm.New(mvstm.Config{LockTableSize: 1 << 12}) }
+
+func TestModelDCTL(t *testing.T) {
+	sys := newDCTL()
+	defer sys.Close()
+	dstest.Model(t, sys, New(4096), 4000, 512, 21)
+}
+
+func TestModelMultiverse(t *testing.T) {
+	sys := newMV()
+	defer sys.Close()
+	dstest.Model(t, sys, New(4096), 4000, 512, 22)
+}
+
+func TestSetProperty(t *testing.T) {
+	sys := newDCTL()
+	defer sys.Close()
+	m := New(1 << 16)
+	if err := quick.Check(dstest.SetProperty(sys, m), &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentToggles(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		new  func() stm.System
+	}{{"dctl", newDCTL}, {"multiverse", newMV}} {
+		t.Run(mk.name, func(t *testing.T) {
+			sys := mk.new()
+			defer sys.Close()
+			dstest.Concurrent(t, sys, New(4096), 128, 4, 400)
+		})
+	}
+}
+
+// TestExternalShape verifies the leaf-oriented structure: every key is in a
+// leaf, internal nodes route correctly, and deleting a leaf splices its
+// sibling (root/leaf edge cases included).
+func TestExternalShape(t *testing.T) {
+	sys := newDCTL()
+	defer sys.Close()
+	th := sys.Register()
+	defer th.Unregister()
+	tr := New(64)
+
+	// Single-leaf root.
+	ds.Insert(th, tr, 10, 1)
+	if del, _ := ds.Delete(th, tr, 10); !del {
+		t.Fatal("delete of root leaf failed")
+	}
+	if n, _ := ds.Size(th, tr); n != 0 {
+		t.Fatal("tree not empty after root delete")
+	}
+
+	// Two keys: root internal with two leaves; delete one splices root.
+	ds.Insert(th, tr, 10, 1)
+	ds.Insert(th, tr, 20, 2)
+	if del, _ := ds.Delete(th, tr, 10); !del {
+		t.Fatal("delete(10) failed")
+	}
+	if v, found, _ := ds.Search(th, tr, 20); !found || v != 2 {
+		t.Fatal("sibling splice lost key 20")
+	}
+
+	// Deeper: delete an inner leaf and verify all others survive.
+	keys := []uint64{5, 15, 25, 35, 45, 55}
+	for _, k := range keys {
+		ds.Insert(th, tr, k, k)
+	}
+	ds.Delete(th, tr, 25)
+	for _, k := range keys {
+		_, found, _ := ds.Search(th, tr, k)
+		if (k == 25) == found {
+			t.Fatalf("key %d presence wrong after inner delete", k)
+		}
+	}
+}

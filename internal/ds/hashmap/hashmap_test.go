@@ -1,0 +1,119 @@
+package hashmap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dctl"
+	"repro/internal/ds"
+	"repro/internal/ds/dstest"
+	"repro/internal/mvstm"
+	"repro/internal/stm"
+)
+
+func newDCTL() stm.System { return dctl.New(dctl.Config{LockTableSize: 1 << 12}) }
+func newMV() stm.System   { return mvstm.New(mvstm.Config{LockTableSize: 1 << 12}) }
+
+func TestModelDCTL(t *testing.T) {
+	sys := newDCTL()
+	defer sys.Close()
+	dstest.Model(t, sys, New(1024, 4096), 4000, 512, 31)
+}
+
+func TestModelMultiverse(t *testing.T) {
+	sys := newMV()
+	defer sys.Close()
+	dstest.Model(t, sys, New(1024, 4096), 4000, 512, 32)
+}
+
+func TestChainCollisions(t *testing.T) {
+	// A 4-bucket map forces long chains: exercises mid-chain deletes.
+	sys := newDCTL()
+	defer sys.Close()
+	th := sys.Register()
+	defer th.Unregister()
+	m := New(4, 256)
+	for k := uint64(1); k <= 100; k++ {
+		if ins, _ := ds.Insert(th, m, k, k+1000); !ins {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	for k := uint64(2); k <= 100; k += 2 {
+		if del, _ := ds.Delete(th, m, k); !del {
+			t.Fatalf("delete %d failed", k)
+		}
+	}
+	for k := uint64(1); k <= 100; k++ {
+		v, found, _ := ds.Search(th, m, k)
+		if odd := k%2 == 1; found != odd {
+			t.Fatalf("key %d: found=%v want %v", k, found, odd)
+		}
+		if found && v != k+1000 {
+			t.Fatalf("key %d wrong value %d", k, v)
+		}
+	}
+	if n, _ := ds.Size(th, m); n != 50 {
+		t.Fatalf("size=%d want 50", n)
+	}
+}
+
+func TestSetProperty(t *testing.T) {
+	sys := newDCTL()
+	defer sys.Close()
+	m := New(512, 1<<16)
+	if err := quick.Check(dstest.SetProperty(sys, m), &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentToggles(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		new  func() stm.System
+	}{{"dctl", newDCTL}, {"multiverse", newMV}} {
+		t.Run(mk.name, func(t *testing.T) {
+			sys := mk.new()
+			defer sys.Close()
+			dstest.Concurrent(t, sys, New(512, 4096), 128, 4, 400)
+		})
+	}
+}
+
+// TestSizeQueryIsAtomic pairs a mutator flipping two keys inside one
+// transaction with size queries that must never observe the intermediate
+// count.
+func TestSizeQueryIsAtomic(t *testing.T) {
+	sys := newMV()
+	defer sys.Close()
+	th := sys.Register()
+	defer th.Unregister()
+	m := New(64, 256)
+	for k := uint64(1); k <= 10; k++ {
+		ds.Insert(th, m, k, k)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		mu := sys.Register()
+		defer mu.Unregister()
+		for i := 0; i < 500; i++ {
+			mu.Atomic(func(tx stm.Txn) {
+				// Delete one key and insert another: size stays 10.
+				m.DeleteTx(tx, uint64(i%10)+1)
+				m.InsertTx(tx, uint64(i%10)+11, 0)
+				m.DeleteTx(tx, uint64(i%10)+11)
+				m.InsertTx(tx, uint64(i%10)+1, 0)
+			})
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if n, ok := ds.Size(th, m); ok && n != 10 {
+			t.Fatalf("size query observed %d, want 10", n)
+		}
+	}
+}

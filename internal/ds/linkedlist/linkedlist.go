@@ -1,0 +1,154 @@
+// Package linkedlist implements a transactional sorted singly linked list —
+// the exact structure of the paper's §4.5 memory-reclamation example (a
+// reader traverses A→B→C→D while a writer unlinks a suffix and frees it).
+// It is the simplest ds.Map and the canonical stressor for EBR-deferred
+// reclamation: long traversals hold stale node indices for a long time.
+package linkedlist
+
+import (
+	"repro/internal/arena"
+	"repro/internal/stm"
+)
+
+type node struct {
+	key  stm.Word
+	val  stm.Word
+	next stm.Word // arena index; 0 terminates
+}
+
+// List is a transactional sorted linked list.
+type List struct {
+	head stm.Word // arena index of first node; 0 = empty
+	ar   *arena.Arena[node]
+}
+
+// New creates an empty list with a capacity hint.
+func New(capacity int) *List {
+	return &List{ar: arena.New[node](capacity)}
+}
+
+// search returns the first node with key >= k plus the Word holding its
+// index (for splicing).
+func (l *List) search(tx stm.Txn, k uint64) (prevPtr *stm.Word, idx uint64) {
+	prevPtr = &l.head
+	idx = tx.Read(prevPtr)
+	for idx != 0 {
+		n := l.ar.Get(idx)
+		if tx.Read(&n.key) >= k {
+			return prevPtr, idx
+		}
+		prevPtr = &n.next
+		idx = tx.Read(prevPtr)
+	}
+	return prevPtr, 0
+}
+
+// SearchTx implements ds.Map.
+func (l *List) SearchTx(tx stm.Txn, key uint64) (uint64, bool) {
+	_, idx := l.search(tx, key)
+	if idx == 0 {
+		return 0, false
+	}
+	n := l.ar.Get(idx)
+	if tx.Read(&n.key) != key {
+		return 0, false
+	}
+	return tx.Read(&n.val), true
+}
+
+// InsertTx implements ds.Map.
+func (l *List) InsertTx(tx stm.Txn, key, val uint64) bool {
+	prevPtr, idx := l.search(tx, key)
+	if idx != 0 && tx.Read(&l.ar.Get(idx).key) == key {
+		return false
+	}
+	shard := int(key)
+	ni := l.ar.Alloc(shard)
+	tx.OnAbort(func() { l.ar.Release(shard, ni) })
+	n := l.ar.Get(ni)
+	tx.Write(&n.key, key)
+	tx.Write(&n.val, val)
+	tx.Write(&n.next, idx)
+	tx.Write(prevPtr, ni)
+	return true
+}
+
+// DeleteTx implements ds.Map.
+func (l *List) DeleteTx(tx stm.Txn, key uint64) bool {
+	prevPtr, idx := l.search(tx, key)
+	if idx == 0 {
+		return false
+	}
+	n := l.ar.Get(idx)
+	if tx.Read(&n.key) != key {
+		return false
+	}
+	tx.Write(prevPtr, tx.Read(&n.next))
+	shard := int(key)
+	freed := idx
+	tx.Free(func() { l.ar.Release(shard, freed) })
+	return true
+}
+
+// TruncateFromTx unlinks every node with key >= k in ONE write (the §4.5
+// scenario: "removing C and D via a single write to change B's next pointer
+// to null") and retires the whole suffix. Returns the number removed.
+func (l *List) TruncateFromTx(tx stm.Txn, k uint64) int {
+	prevPtr, idx := l.search(tx, k)
+	if idx == 0 {
+		return 0
+	}
+	tx.Write(prevPtr, 0)
+	removed := 0
+	for cur := idx; cur != 0; {
+		n := l.ar.Get(cur)
+		next := tx.Read(&n.next)
+		freed := cur
+		shard := int(freed)
+		tx.Free(func() { l.ar.Release(shard, freed) })
+		removed++
+		cur = next
+	}
+	return removed
+}
+
+// RangeTx implements ds.Map.
+func (l *List) RangeTx(tx stm.Txn, lo, hi uint64) (int, uint64) {
+	count, sum := 0, uint64(0)
+	_, idx := l.search(tx, lo)
+	for idx != 0 {
+		n := l.ar.Get(idx)
+		k := tx.Read(&n.key)
+		if k > hi {
+			break
+		}
+		count++
+		sum += k
+		idx = tx.Read(&n.next)
+	}
+	return count, sum
+}
+
+// SizeTx implements ds.Map.
+func (l *List) SizeTx(tx stm.Txn) int {
+	count := 0
+	for idx := tx.Read(&l.head); idx != 0; {
+		count++
+		idx = tx.Read(&l.ar.Get(idx).next)
+	}
+	return count
+}
+
+// VisitTx implements ds.Visitor: a linear walk of [lo, hi] in key order.
+func (l *List) VisitTx(tx stm.Txn, lo, hi uint64, fn func(key, val uint64)) {
+	_, idx := l.search(tx, lo)
+	for idx != 0 {
+		n := l.ar.Get(idx)
+		k := tx.Read(&n.key)
+		if k > hi {
+			return
+		}
+		fn(k, tx.Read(&n.val))
+		idx = tx.Read(&n.next)
+	}
+}

@@ -1,0 +1,101 @@
+package linkedlist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dctl"
+	"repro/internal/ds"
+	"repro/internal/ds/dstest"
+	"repro/internal/mvstm"
+	"repro/internal/stm"
+)
+
+func newDCTL() stm.System { return dctl.New(dctl.Config{LockTableSize: 1 << 12}) }
+func newMV() stm.System   { return mvstm.New(mvstm.Config{LockTableSize: 1 << 12}) }
+
+func TestModelDCTL(t *testing.T) {
+	sys := newDCTL()
+	defer sys.Close()
+	dstest.Model(t, sys, New(1024), 2500, 128, 41)
+}
+
+func TestModelMultiverse(t *testing.T) {
+	sys := newMV()
+	defer sys.Close()
+	dstest.Model(t, sys, New(1024), 2500, 128, 42)
+}
+
+func TestSortedOrder(t *testing.T) {
+	sys := newDCTL()
+	defer sys.Close()
+	th := sys.Register()
+	defer th.Unregister()
+	l := New(64)
+	for _, k := range []uint64{5, 1, 9, 3, 7} {
+		ds.Insert(th, l, k, k)
+	}
+	var keys []uint64
+	th.ReadOnly(func(tx stm.Txn) {
+		keys = keys[:0]
+		for idx := tx.Read(&l.head); idx != 0; {
+			n := l.ar.Get(idx)
+			keys = append(keys, tx.Read(&n.key))
+			idx = tx.Read(&n.next)
+		}
+	})
+	want := []uint64{1, 3, 5, 7, 9}
+	if len(keys) != len(want) {
+		t.Fatalf("keys %v want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys %v want %v", keys, want)
+		}
+	}
+}
+
+func TestTruncateFrom(t *testing.T) {
+	sys := newDCTL()
+	defer sys.Close()
+	th := sys.Register()
+	defer th.Unregister()
+	l := New(64)
+	for k := uint64(1); k <= 10; k++ {
+		ds.Insert(th, l, k, k)
+	}
+	var removed int
+	th.Atomic(func(tx stm.Txn) { removed = l.TruncateFromTx(tx, 6) })
+	if removed != 5 {
+		t.Fatalf("removed %d want 5", removed)
+	}
+	if n, _ := ds.Size(th, l); n != 5 {
+		t.Fatalf("size %d want 5", n)
+	}
+	if _, found, _ := ds.Search(th, l, 6); found {
+		t.Fatal("truncated key still present")
+	}
+	if _, found, _ := ds.Search(th, l, 5); !found {
+		t.Fatal("kept key missing")
+	}
+	// Truncating an already-clean suffix is a no-op.
+	th.Atomic(func(tx stm.Txn) { removed = l.TruncateFromTx(tx, 100) })
+	if removed != 0 {
+		t.Fatalf("no-op truncate removed %d", removed)
+	}
+}
+
+func TestSetProperty(t *testing.T) {
+	sys := newDCTL()
+	defer sys.Close()
+	l := New(1 << 16)
+	if err := quick.Check(dstest.SetProperty(sys, l), &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentToggles(t *testing.T) {
+	sys := newMV()
+	defer sys.Close()
+	dstest.Concurrent(t, sys, New(1024), 48, 3, 250)
+}

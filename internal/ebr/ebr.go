@@ -1,0 +1,208 @@
+// Package ebr implements epoch-based memory reclamation (paper §4.5).
+//
+// The STMs in this repository pair EBR with transactions: a thread pins its
+// epoch for the duration of each transaction attempt and unpins at commit or
+// abort. Objects unlinked by a committed transaction are retired rather than
+// freed; a retired object is reclaimed only after every thread has passed
+// through a grace period (two global epoch advances), so a doomed reader that
+// survived past an unlink — the TL2/DCTL race described in §4.5 — can still
+// safely dereference it.
+//
+// Retires are revocable at the transaction layer: a transaction buffers its
+// frees and hands them to EBR only on commit, so an aborted attempt never
+// retires anything (paper: "when we rollback the effects of an update
+// transaction we also revoke any of its retires").
+package ebr
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const idle = ^uint64(0) // announcement value while unpinned
+
+// advanceEvery bounds how many retires a handle buffers before it attempts
+// to advance the global epoch and collect.
+const advanceEvery = 64
+
+type limboBucket struct {
+	epoch uint64
+	fns   []func()
+}
+
+// Handle is a per-thread EBR participant. Not safe for concurrent use.
+type Handle struct {
+	d        *Domain
+	ann      atomic.Uint64 // announced epoch, or idle
+	limbo    [3]limboBucket
+	retires  int
+	pinDepth int
+	dead     atomic.Bool
+}
+
+// Domain is a reclamation domain shared by all threads of one TM instance.
+type Domain struct {
+	epoch atomic.Uint64
+
+	mu      sync.Mutex
+	handles []*Handle
+	orphans []limboBucket // limbo of unregistered handles
+}
+
+// NewDomain creates an empty domain at epoch 2 (so epoch-2 arithmetic never
+// underflows).
+func NewDomain() *Domain {
+	d := &Domain{}
+	d.epoch.Store(2)
+	return d
+}
+
+// Epoch returns the current global epoch.
+func (d *Domain) Epoch() uint64 { return d.epoch.Load() }
+
+// Register adds a participant.
+func (d *Domain) Register() *Handle {
+	h := &Handle{d: d}
+	h.ann.Store(idle)
+	d.mu.Lock()
+	d.handles = append(d.handles, h)
+	d.mu.Unlock()
+	return h
+}
+
+// Pin announces the current epoch, protecting any object reachable at entry
+// from reclamation. Pins nest.
+func (h *Handle) Pin() {
+	h.pinDepth++
+	if h.pinDepth > 1 {
+		return
+	}
+	h.ann.Store(h.d.epoch.Load())
+}
+
+// Unpin ends the critical section begun by Pin.
+func (h *Handle) Unpin() {
+	h.pinDepth--
+	if h.pinDepth > 0 {
+		return
+	}
+	h.ann.Store(idle)
+}
+
+// Pinned reports whether the handle is inside a critical section.
+func (h *Handle) Pinned() bool { return h.pinDepth > 0 }
+
+// Retire schedules fn to run once no pinned thread can still hold a
+// reference acquired before the retire.
+func (h *Handle) Retire(fn func()) {
+	e := h.d.epoch.Load()
+	b := &h.limbo[e%3]
+	if b.epoch != e {
+		// The bucket cycles every 3 epochs; its previous contents are
+		// at least 3 epochs old, hence past their grace period.
+		runAll(b.fns)
+		b.fns = b.fns[:0]
+		b.epoch = e
+	}
+	b.fns = append(b.fns, fn)
+	h.retires++
+	if h.retires >= advanceEvery {
+		h.retires = 0
+		h.d.Advance()
+		h.Collect()
+	}
+}
+
+// Collect frees every limbo bucket that has passed its grace period
+// (retired at least two epoch advances ago).
+func (h *Handle) Collect() {
+	e := h.d.epoch.Load()
+	for i := range h.limbo {
+		b := &h.limbo[i]
+		if len(b.fns) > 0 && e >= b.epoch+2 {
+			runAll(b.fns)
+			b.fns = b.fns[:0]
+		}
+	}
+}
+
+// Unregister removes the handle. Its remaining limbo is adopted by the
+// domain and reclaimed on later advances.
+func (h *Handle) Unregister() {
+	if h.dead.Swap(true) {
+		return
+	}
+	h.ann.Store(idle)
+	d := h.d
+	d.mu.Lock()
+	for i, x := range d.handles {
+		if x == h {
+			d.handles[i] = d.handles[len(d.handles)-1]
+			d.handles = d.handles[:len(d.handles)-1]
+			break
+		}
+	}
+	for i := range h.limbo {
+		if len(h.limbo[i].fns) > 0 {
+			d.orphans = append(d.orphans, h.limbo[i])
+			h.limbo[i] = limboBucket{}
+		}
+	}
+	d.mu.Unlock()
+}
+
+// Advance attempts one global epoch advance. It succeeds iff every pinned
+// handle has announced the current epoch. Returns whether the epoch moved.
+func (d *Domain) Advance() bool {
+	e := d.epoch.Load()
+	d.mu.Lock()
+	for _, h := range d.handles {
+		a := h.ann.Load()
+		if a != idle && a < e {
+			d.mu.Unlock()
+			return false
+		}
+	}
+	moved := d.epoch.CompareAndSwap(e, e+1)
+	if moved {
+		d.reclaimOrphansLocked(e + 1)
+	}
+	d.mu.Unlock()
+	return moved
+}
+
+func (d *Domain) reclaimOrphansLocked(now uint64) {
+	kept := d.orphans[:0]
+	for _, b := range d.orphans {
+		if now >= b.epoch+2 {
+			runAll(b.fns)
+		} else {
+			kept = append(kept, b)
+		}
+	}
+	d.orphans = kept
+}
+
+// Drain reclaims everything unconditionally. Callers must guarantee
+// quiescence (no pinned handles, no concurrent operations); it is intended
+// for System.Close.
+func (d *Domain) Drain() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, h := range d.handles {
+		for i := range h.limbo {
+			runAll(h.limbo[i].fns)
+			h.limbo[i].fns = nil
+		}
+	}
+	for _, b := range d.orphans {
+		runAll(b.fns)
+	}
+	d.orphans = nil
+}
+
+func runAll(fns []func()) {
+	for _, fn := range fns {
+		fn()
+	}
+}

@@ -1,0 +1,152 @@
+package ebr
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRetireRunsAfterGracePeriod(t *testing.T) {
+	d := NewDomain()
+	h := d.Register()
+	ran := false
+	h.Retire(func() { ran = true })
+	if ran {
+		t.Fatal("retire ran immediately")
+	}
+	// Two advances = one grace period.
+	d.Advance()
+	d.Advance()
+	h.Collect()
+	if !ran {
+		t.Fatal("retire did not run after grace period")
+	}
+}
+
+func TestPinBlocksAdvance(t *testing.T) {
+	d := NewDomain()
+	h1 := d.Register()
+	h2 := d.Register()
+	h1.Pin()
+	e := d.Epoch()
+	if !d.Advance() {
+		t.Fatal("advance blocked although pinned handle announced current epoch")
+	}
+	// h1 is still announcing epoch e; the next advance must fail.
+	if d.Advance() {
+		t.Fatal("advance succeeded past a pinned handle")
+	}
+	if d.Epoch() != e+1 {
+		t.Fatalf("epoch=%d want %d", d.Epoch(), e+1)
+	}
+	h1.Unpin()
+	if !d.Advance() {
+		t.Fatal("advance failed after unpin")
+	}
+	_ = h2
+}
+
+func TestPinnedReaderProtectsRetiree(t *testing.T) {
+	d := NewDomain()
+	reader := d.Register()
+	writer := d.Register()
+
+	reader.Pin() // reader enters critical section
+	freed := false
+	writer.Retire(func() { freed = true })
+	// No matter how hard the writer pushes, the object survives while
+	// the reader stays pinned.
+	for i := 0; i < 100; i++ {
+		d.Advance()
+		writer.Collect()
+	}
+	if freed {
+		t.Fatal("object freed while a pre-retire reader was pinned")
+	}
+	reader.Unpin()
+	d.Advance()
+	d.Advance()
+	writer.Collect()
+	if !freed {
+		t.Fatal("object never freed after reader unpinned")
+	}
+}
+
+func TestNestedPin(t *testing.T) {
+	d := NewDomain()
+	h := d.Register()
+	h.Pin()
+	h.Pin()
+	h.Unpin()
+	if !h.Pinned() {
+		t.Fatal("nested pin collapsed early")
+	}
+	h.Unpin()
+	if h.Pinned() {
+		t.Fatal("unpin imbalance")
+	}
+}
+
+func TestUnregisterAdoptsLimbo(t *testing.T) {
+	d := NewDomain()
+	h := d.Register()
+	var mu sync.Mutex
+	count := 0
+	for i := 0; i < 5; i++ {
+		h.Retire(func() { mu.Lock(); count++; mu.Unlock() })
+	}
+	h.Unregister()
+	other := d.Register()
+	for i := 0; i < 4; i++ {
+		d.Advance()
+	}
+	_ = other
+	mu.Lock()
+	got := count
+	mu.Unlock()
+	if got != 5 {
+		t.Fatalf("orphaned retires ran %d/5 times", got)
+	}
+}
+
+func TestDrainRunsEverything(t *testing.T) {
+	d := NewDomain()
+	h := d.Register()
+	count := 0
+	for i := 0; i < 7; i++ {
+		h.Retire(func() { count++ })
+	}
+	d.Drain()
+	if count != 7 {
+		t.Fatalf("drain ran %d/7 retires", count)
+	}
+}
+
+func TestConcurrentRetireStress(t *testing.T) {
+	d := NewDomain()
+	const goroutines = 4
+	const perG = 2000
+	var freed [goroutines]int
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := d.Register()
+			defer h.Unregister()
+			for i := 0; i < perG; i++ {
+				h.Pin()
+				h.Retire(func() { freed[g]++ })
+				h.Unpin()
+			}
+		}(g)
+	}
+	wg.Wait()
+	d.Drain()
+	total := 0
+	for _, f := range freed {
+		total += f
+	}
+	if total != goroutines*perG {
+		t.Fatalf("freed %d/%d", total, goroutines*perG)
+	}
+}

@@ -1,0 +1,65 @@
+package mvstm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// idleCounter marks a thread as outside any transaction attempt; the
+// background thread's drain scans ignore idle slots.
+const idleCounter = ^uint64(0)
+
+// Transaction kinds announced for the background thread's drain scans
+// (paper §4.3: QtoU→U drains update transactions at an old local mode;
+// UtoQ→Q drains versioned transactions at an old local mode).
+const (
+	kindReader = iota // unversioned read-only
+	kindUpdater
+	kindVersioned // versioned read-only (and SI, which also reads versions)
+)
+
+// slot is a thread's entry in the announcement array the background thread
+// iterates over (paper Listing 1: "announce stickyModeU and
+// localModeCounter"; §4.4: announced commit timestamp deltas feed the
+// unversioning heuristic).
+type slot struct {
+	localModeCounter atomic.Uint64 // global mode counter observed at begin; idleCounter when not in a txn
+	kind             atomic.Uint32
+	sticky           atomic.Bool   // thread wants the TM to stay in Mode U
+	delta            atomic.Uint64 // last versioned commit's timestamp delta + 1 (0 = none yet)
+	dead             atomic.Bool
+}
+
+// slotList is the registry of announcement slots.
+type slotList struct {
+	mu    sync.Mutex
+	slots []*slot
+}
+
+func (l *slotList) add() *slot {
+	s := &slot{}
+	s.localModeCounter.Store(idleCounter)
+	l.mu.Lock()
+	l.slots = append(l.slots, s)
+	l.mu.Unlock()
+	return s
+}
+
+// snapshot appends the live slots to buf (pruning dead ones) and returns
+// it. Callers own buf; passing a reused buffer keeps the background thread's
+// frequent scans allocation-free.
+func (l *slotList) snapshot(buf []*slot) []*slot {
+	buf = buf[:0]
+	l.mu.Lock()
+	kept := l.slots[:0]
+	for _, s := range l.slots {
+		if s.dead.Load() {
+			continue
+		}
+		kept = append(kept, s)
+		buf = append(buf, s)
+	}
+	l.slots = kept
+	l.mu.Unlock()
+	return buf
+}

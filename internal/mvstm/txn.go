@@ -1,0 +1,564 @@
+package mvstm
+
+import (
+	"runtime"
+
+	"repro/internal/ebr"
+	"repro/internal/stm"
+	"repro/internal/vlock"
+)
+
+// Thread is a Multiverse worker handle (paper Listing 1's thread locals).
+type Thread struct {
+	sys  *System
+	tid  int
+	ebr  *ebr.Handle
+	slot *slot
+	ctr  stm.Counters
+
+	// Sticky Mode U machinery (paper §4.3).
+	sticky         bool
+	consecSmall    int
+	smallThreshold uint64 // reads; 0 until sampled after a CAS attempt
+	samplePending  bool
+
+	txn txn
+}
+
+type undoEntry struct {
+	w   *stm.Word
+	old uint64
+}
+
+type txn struct {
+	stm.Hooks
+	t *Thread
+
+	localModeCounter uint64
+	localMode        Mode
+	rClock           uint64
+	readOnly         bool
+	versioned        bool
+	si               bool // snapshot-isolation path (§3.5)
+	readCnt          uint64
+	initialVTs       uint64 // initial versioned timestamp (first versioned attempt)
+
+	reads   []*vlock.Lock
+	undo    []undoEntry
+	locked  []*vlock.Lock
+	vwrites []*versionNode
+	vlists  []*versionList
+}
+
+// Atomic implements stm.Thread: an unversioned update transaction.
+func (t *Thread) Atomic(fn func(stm.Txn)) bool { return t.run(fn, false, false) }
+
+// ReadOnly implements stm.Thread. Read-only transactions begin unversioned
+// and may switch to the versioned path after repeated aborts.
+func (t *Thread) ReadOnly(fn func(stm.Txn)) bool { return t.run(fn, true, false) }
+
+// AtomicSI runs fn under snapshot isolation (paper §3.5): reads follow the
+// versioned path (a consistent snapshot, possibly in the past) while writes
+// follow the unversioned path (atomic DCTL-style update in the present).
+// Only for applications that tolerate SI's weaker guarantee.
+func (t *Thread) AtomicSI(fn func(stm.Txn)) bool { return t.run(fn, false, true) }
+
+// Unregister implements stm.Thread.
+func (t *Thread) Unregister() {
+	t.slot.dead.Store(true)
+	t.slot.sticky.Store(false)
+	t.ebr.Unregister()
+}
+
+func (t *Thread) run(fn func(stm.Txn), readOnly, si bool) bool {
+	tx := &t.txn
+	sys := t.sys
+	versioned := si
+	versionedAttempts := 0
+	tx.initialVTs = 0
+	for attempt := 1; ; attempt++ {
+		tx.begin(readOnly, versioned, si)
+		if tx.versioned {
+			versionedAttempts++
+		}
+		t.ebr.Pin()
+		oc := stm.RunAttempt(func() {
+			fn(tx)
+			tx.commit()
+		})
+		t.ebr.Unpin()
+		switch oc {
+		case stm.Committed:
+			t.slot.localModeCounter.Store(idleCounter)
+			tx.RunCommit(t.ebr.Retire)
+			t.ctr.Commits.Add(1)
+			if readOnly {
+				t.ctr.ReadOnlyCommits.Add(1)
+			}
+			if tx.versioned {
+				t.ctr.VersionedCommits.Add(1)
+			}
+			return true
+		case stm.Cancelled:
+			tx.abortCleanup()
+			t.slot.localModeCounter.Store(idleCounter)
+			return false
+		}
+		tx.abortCleanup()
+		t.slot.localModeCounter.Store(idleCounter)
+		t.ctr.Aborts.Add(1)
+		// Heuristics (paper Listing 1 abort, §4.3): decide whether to
+		// switch this transaction to the versioned path and whether to
+		// nudge the TM towards Mode U.
+		if readOnly && !si {
+			if !versioned && (attempt >= sys.cfg.K1 ||
+				(attempt >= sys.cfg.K2 && tx.readCnt >= sys.minModeUReads.Load())) {
+				versioned = true
+			}
+			t.maybeModeCAS(tx, attempt, versionedAttempts)
+		}
+		stm.Backoff(attempt)
+	}
+}
+
+// maybeModeCAS attempts the Mode Q → Mode QtoU transition (paper §4.3):
+// after K2 attempts iff the read count reaches the minimum Mode U read
+// count, or unconditionally after K3 versioned attempts. Any thread that
+// attempts the CAS sets its sticky bit and schedules a small-transaction
+// threshold sample.
+func (t *Thread) maybeModeCAS(tx *txn, attempts, versionedAttempts int) {
+	sys := t.sys
+	if sys.cfg.PinnedMode != PinNone {
+		return
+	}
+	c := sys.modeCounter.Load()
+	if modeOf(c) != ModeQ || tx.localMode != ModeQ {
+		return
+	}
+	want := tx.versioned && versionedAttempts >= sys.cfg.K3
+	if !want && attempts >= sys.cfg.K2 && tx.readCnt >= sys.minModeUReads.Load() {
+		want = true
+	}
+	if !want {
+		return
+	}
+	t.sticky = true
+	t.slot.sticky.Store(true)
+	t.samplePending = true
+	if sys.modeCounter.CompareAndSwap(c, c+1) {
+		t.ctr.ModeSwitches.Add(1)
+	}
+}
+
+func (tx *txn) begin(readOnly, versioned, si bool) {
+	t := tx.t
+	sys := t.sys
+	tx.Reset()
+	tx.readOnly = readOnly
+	tx.versioned = versioned
+	tx.si = si
+	tx.readCnt = 0
+	tx.reads = tx.reads[:0]
+	tx.undo = tx.undo[:0]
+	tx.locked = tx.locked[:0]
+	tx.vwrites = tx.vwrites[:0]
+	tx.vlists = tx.vlists[:0]
+
+	// Announce the observed mode counter and transaction kind for the
+	// background thread's drain scans (Listing 1 beginTxn).
+	c := sys.modeCounter.Load()
+	tx.localModeCounter = c
+	tx.localMode = modeOf(c)
+	kind := uint32(kindReader)
+	switch {
+	case !readOnly:
+		kind = kindUpdater
+	case versioned:
+		kind = kindVersioned
+	}
+	if si {
+		kind = kindUpdater // SI writes like an updater; drains must wait for it
+	}
+	t.slot.kind.Store(kind)
+	t.slot.localModeCounter.Store(c)
+
+	tx.rClock = sys.clock.Load()
+	if versioned && tx.initialVTs == 0 {
+		// First versioned attempt: save the initial versioned
+		// timestamp for the §4.4 commit-delta statistic.
+		tx.initialVTs = tx.rClock
+	}
+}
+
+// validateLock is paper Listing 2's validateLock.
+func (tx *txn) validateLock(s vlock.State) bool {
+	if s.Held() && s.TID() == tx.t.tid {
+		return true
+	}
+	if s.Held() {
+		return false
+	}
+	return s.Version() < tx.rClock
+}
+
+// Read implements stm.Txn (paper Listing 4 TMRead).
+func (tx *txn) Read(w *stm.Word) uint64 {
+	tx.readCnt++
+	if tx.versioned {
+		if tx.localMode == ModeU {
+			return tx.modeURead(w)
+		}
+		// Modes Q and QtoU read as Mode Q; Mode UtoQ forces versioned
+		// transactions back to Mode Q behaviour (Table 1).
+		return tx.modeQRead(w)
+	}
+	l := tx.t.sys.locks.Of(w)
+	data := w.Load()
+	s := l.Load()
+	for s.Flagged() {
+		// Address is being versioned; wait for the flag holder.
+		runtime.Gosched()
+		s = l.Load()
+	}
+	if !tx.validateLock(s) {
+		stm.AbortAttempt()
+	}
+	if !tx.readOnly {
+		tx.reads = append(tx.reads, l)
+	}
+	return data
+}
+
+// modeQRead is paper Listing 4's modeQ_versionedRead: read the version list
+// if the address is versioned, otherwise version it ourselves.
+func (tx *txn) modeQRead(w *stm.Word) uint64 {
+	sys := tx.t.sys
+	hash := sys.locks.Hash(w)
+	idx := hash & sys.locks.Mask()
+	already := false
+	if sys.cfg.DisableBloom {
+		already = true
+	} else {
+		already = sys.blooms.At(idx).TryAdd(hash)
+	}
+	if already {
+		if vl := sys.getVList(idx, w); vl != nil {
+			data, ok := vl.traverse(tx.rClock)
+			if !ok {
+				stm.AbortAttempt()
+			}
+			return data
+		}
+		// Bloom false positive: fall through and version it.
+	}
+	return tx.versionThenRead(idx, hash, w)
+}
+
+// versionThenRead is paper Listing 4's versionThenRead: claim the lock with
+// the versioning flag, re-check for a racing versioner, then install an
+// initial version holding the address's current value. The versioning
+// persists even if the subsequent validation aborts this transaction.
+func (tx *txn) versionThenRead(idx, hash uint64, w *stm.Word) uint64 {
+	sys := tx.t.sys
+	l := sys.locks.At(idx)
+	var pre vlock.State
+	for {
+		s := l.Load()
+		if s.Held() {
+			runtime.Gosched()
+			continue
+		}
+		if got, ok := l.TryFlag(tx.t.tid); ok {
+			pre = got
+			break
+		}
+	}
+	// Re-check: a concurrent transaction may have versioned the address
+	// while we waited for the lock (§4.1).
+	if vl := sys.getVList(idx, w); vl != nil {
+		l.Release(pre.Version())
+		data, ok := vl.traverse(tx.rClock)
+		if !ok {
+			stm.AbortAttempt()
+		}
+		return data
+	}
+	data := w.Load()
+	ts := sys.firstObsModeUTs.Load()
+	if ts == 0 {
+		ts = pre.Version()
+	}
+	sys.versionAddr(idx, hash, w, data, ts)
+	tx.t.ctr.AddrVersioned.Add(1)
+	l.Release(pre.Version())
+	if !(pre.Version() < tx.rClock) {
+		// Validation failed; the address stays versioned but this
+		// transaction must abort (§4.1).
+		stm.AbortAttempt()
+	}
+	return data
+}
+
+// modeURead is paper Listing 5's modeU_versionedRead. In Mode U every
+// address written since the mode change is versioned, so an unversioned
+// address has a stable value; the retry state machine disambiguates lock
+// holders from lock-table collisions without versioning anything.
+func (tx *txn) modeURead(w *stm.Word) uint64 {
+	sys := tx.t.sys
+	hash := sys.locks.Hash(w)
+	idx := hash & sys.locks.Mask()
+	l := sys.locks.At(idx)
+	var lastVer, lastVal uint64
+	didRetry := false
+	for {
+		if sys.bloomContains(idx, hash) {
+			if vl := sys.getVList(idx, w); vl != nil {
+				data, ok := vl.traverse(tx.rClock)
+				if !ok {
+					stm.AbortAttempt()
+				}
+				return data
+			}
+		}
+		// The address is not versioned, hence unwritten since the TM
+		// entered Mode U.
+		val := w.Load()
+		s := l.Load()
+		fo := sys.firstObsModeUTs.Load()
+		validVer := s.Version() < tx.rClock || (fo != 0 && fo < tx.rClock)
+		if didRetry {
+			verChanged := s.Version() != lastVer
+			valChanged := val != lastVal
+			switch {
+			case verChanged:
+				// Still unversioned across a version change: the
+				// lock activity was a table collision; our first
+				// read was consistent.
+				return lastVal
+			case s.Held() && validVer && !verChanged && !valChanged:
+				// Holder has not written (it would have versioned);
+				// the value we first read predates any update.
+				return lastVal
+			case !s.Held() && validVer:
+				return lastVal
+			}
+			stm.AbortAttempt()
+		}
+		if s.Held() {
+			// Locked: snapshot and re-examine once.
+			lastVer = s.Version()
+			lastVal = val
+			didRetry = true
+			runtime.Gosched()
+			continue
+		}
+		if validVer {
+			return val
+		}
+		stm.AbortAttempt()
+	}
+}
+
+// Write implements stm.Txn (paper Listing 3 TMWrite): encounter-time lock,
+// undo-log, then version-list update and in-place write. In every mode but
+// Mode Q, writers version unversioned addresses before writing.
+func (tx *txn) Write(w *stm.Word, v uint64) {
+	if tx.readOnly {
+		panic("mvstm: Write inside ReadOnly transaction")
+	}
+	t := tx.t
+	sys := t.sys
+	hash := sys.locks.Hash(w)
+	idx := hash & sys.locks.Mask()
+	l := sys.locks.At(idx)
+	var preVersion uint64
+	for {
+		s := l.Load()
+		if s.Flagged() {
+			// Held solely for versioning: wait, don't abort.
+			runtime.Gosched()
+			continue
+		}
+		if s.Locked() {
+			if s.TID() == t.tid {
+				preVersion = s.Version()
+				break
+			}
+			stm.AbortAttempt()
+		}
+		if s.Version() >= tx.rClock {
+			stm.AbortAttempt()
+		}
+		if l.CompareAndSwap(s, vlock.Pack(true, false, t.tid, s.Version())) {
+			preVersion = s.Version()
+			tx.locked = append(tx.locked, l)
+			break
+		}
+		stm.AbortAttempt()
+	}
+	old := w.Load()
+	tx.undo = append(tx.undo, undoEntry{w, old})
+	if tx.localMode == ModeQ {
+		w.Store(v)
+		// Mode Q: add a version only if the address is already
+		// versioned (tryWriteToVersionList).
+		if !sys.bloomContains(idx, hash) {
+			return
+		}
+		vl := sys.getVList(idx, w)
+		if vl == nil {
+			return
+		}
+		tx.versionedWrite(vl, v)
+		return
+	}
+	// Modes QtoU, U, UtoQ: writers are forced to version (Table 1).
+	vl := sys.getVList(idx, w)
+	if vl == nil {
+		ts := sys.firstObsModeUTs.Load()
+		if ts == 0 {
+			ts = preVersion
+		}
+		// The initial version carries the last consistent value —
+		// the value before this transaction's write (§3.1.1).
+		vl = sys.versionAddr(idx, hash, w, old, ts)
+		t.ctr.AddrVersioned.Add(1)
+	}
+	tx.versionedWrite(vl, v)
+	w.Store(v)
+}
+
+// versionedWrite updates w's version list under the held lock: rewrite this
+// transaction's own TBD head, or push a new TBD version at the read clock
+// and retire the previous head via an eventual free (Listing 3).
+func (tx *txn) versionedWrite(vl *versionList, v uint64) {
+	head := vl.head.Load()
+	if head != nil && metaTBD(head.meta.Load()) {
+		head.data.Store(v)
+		return
+	}
+	vn := &versionNode{}
+	vn.meta.Store(makeMeta(tx.rClock, true))
+	vn.data.Store(v)
+	vn.older.Store(head)
+	vl.head.Store(vn)
+	tx.vwrites = append(tx.vwrites, vn)
+	tx.vlists = append(tx.vlists, vl)
+	if head != nil {
+		// eventualFree(previous version): after commit plus a grace
+		// period no reader can need it — any reader whose snapshot
+		// predates our commit was pinned before the retire.
+		tx.Free(func() { vn.older.Store(nil) })
+	}
+}
+
+// commit is paper Listing 1's tryCommit.
+func (tx *txn) commit() {
+	t := tx.t
+	sys := t.sys
+	if tx.readOnly {
+		if tx.versioned {
+			t.onVersionedCommit(tx)
+		}
+		t.noteCommitSize(tx)
+		return
+	}
+	if tx.si && tx.versioned {
+		t.onVersionedCommit(tx)
+	}
+	// Revalidate the read set (snapshot-isolation transactions have an
+	// empty read set: their reads came from version lists).
+	for _, l := range tx.reads {
+		if !tx.validateLock(l.Load()) {
+			stm.AbortAttempt()
+		}
+	}
+	commitClock := sys.clock.Load()
+	// Unset TBD markers with the commit clock, then release locks.
+	for _, vn := range tx.vwrites {
+		vn.meta.Store(makeMeta(commitClock, false))
+	}
+	for _, l := range tx.locked {
+		l.Release(commitClock)
+	}
+	tx.locked = tx.locked[:0]
+	tx.undo = tx.undo[:0]
+	tx.vwrites = tx.vwrites[:0]
+	tx.vlists = tx.vlists[:0]
+	t.noteCommitSize(tx)
+}
+
+// onVersionedCommit publishes the commit-timestamp delta for the
+// unversioning heuristic and updates the global minimum Mode U read count
+// (§4.2, §4.4).
+func (t *Thread) onVersionedCommit(tx *txn) {
+	delta := t.sys.clock.Load() - tx.initialVTs
+	t.slot.delta.Store(delta + 1)
+	if tx.localMode == ModeU {
+		for {
+			cur := t.sys.minModeUReads.Load()
+			if tx.readCnt >= cur || t.sys.minModeUReads.CompareAndSwap(cur, tx.readCnt) {
+				break
+			}
+		}
+	}
+}
+
+// noteCommitSize maintains the sticky-bit machinery (§4.3): the first commit
+// after a CAS attempt samples the small-transaction threshold (1/S of its
+// size); S consecutive small commits clear the sticky bit. Unversioned
+// transactions always count as small.
+func (t *Thread) noteCommitSize(tx *txn) {
+	if t.samplePending {
+		th := tx.readCnt / uint64(t.sys.cfg.S)
+		if th == 0 {
+			th = 1
+		}
+		t.smallThreshold = th
+		t.samplePending = false
+	}
+	small := !tx.versioned || (t.smallThreshold > 0 && tx.readCnt <= t.smallThreshold)
+	if small {
+		t.consecSmall++
+	} else {
+		t.consecSmall = 0
+	}
+	if t.sticky && t.consecSmall >= t.sys.cfg.S {
+		t.sticky = false
+		t.slot.sticky.Store(false)
+		t.consecSmall = 0
+	}
+}
+
+// abortCleanup is paper Listing 1's abort: roll back versioned writes
+// (deleted timestamps unblock waiting traversals; the nodes are unlinked and
+// retired), roll back in-place writes, revoke eventual frees, and release
+// write locks at a freshly incremented clock.
+func (tx *txn) abortCleanup() {
+	t := tx.t
+	// Versioned-write rollback, under the still-held locks.
+	for i := len(tx.vwrites) - 1; i >= 0; i-- {
+		vn := tx.vwrites[i]
+		vl := tx.vlists[i]
+		vn.meta.Store(makeMeta(deletedTs, false))
+		vl.head.Store(vn.older.Load())
+		t.ebr.Retire(func() { vn.older.Store(nil) })
+	}
+	tx.vwrites = tx.vwrites[:0]
+	tx.vlists = tx.vlists[:0]
+	// In-place rollback, newest first.
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.undo[i].w.Store(tx.undo[i].old)
+	}
+	tx.undo = tx.undo[:0]
+	// The clock advances on every abort (Listing 1: nextClock =
+	// gClock.increment()): this is what guarantees a retry with a fresh
+	// read clock can validate past the version that just conflicted.
+	next := t.sys.clock.Increment()
+	for _, l := range tx.locked {
+		l.Release(next)
+	}
+	tx.locked = tx.locked[:0]
+	tx.reads = tx.reads[:0]
+	tx.RunAbort() // rollback hooks; revokes the attempt's eventual frees
+}

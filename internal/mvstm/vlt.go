@@ -1,0 +1,132 @@
+package mvstm
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/stm"
+)
+
+// Version timestamps are packed with a TBD bit (paper §3.2.1: "any
+// modifications to version lists are marked to-be-determined (TBD) until the
+// transaction commits"). A rolled-back version's timestamp becomes deletedTs
+// so blocked traversals resume and skip it (paper §4.1).
+const (
+	tbdBit    = 1 << 63
+	deletedTs = 1<<48 - 1 // vlock.VersionMax; never a real clock value
+)
+
+func makeMeta(ts uint64, tbd bool) uint64 {
+	if tbd {
+		return ts | tbdBit
+	}
+	return ts
+}
+
+func metaTs(m uint64) uint64 { return m &^ tbdBit }
+func metaTBD(m uint64) bool  { return m&tbdBit != 0 }
+
+// versionNode is one entry of a version list (paper Listing 2's VListNode:
+// [olderNode, timestamp, data, tbd]). meta packs timestamp+tbd so readers
+// observe both atomically. Only the list head can be TBD, and only while the
+// writing transaction holds the address lock.
+type versionNode struct {
+	older atomic.Pointer[versionNode]
+	meta  atomic.Uint64
+	data  atomic.Uint64
+}
+
+// versionList is a newest-first list of committed (plus at most one TBD)
+// versions of one address.
+type versionList struct {
+	head atomic.Pointer[versionNode]
+}
+
+// traverse finds the newest version with timestamp strictly below rClock
+// (paper Listing 2, with the erratum's head re-read: a potentially-suitable
+// TBD head forces the reader to wait, re-reading the head, until the writer
+// resolves or deletes it). ok=false means no suitable version exists and
+// the caller must abort.
+//
+// Strictness matters for opacity: unversioned reads validate
+// version < rClock, so a writer whose commit clock EQUALS the reader's read
+// clock is outside the reader's snapshot. Serving such a version here (a
+// "<=" acceptance) would let one transaction observe that writer through
+// version lists but not through in-place words — the paper's §3.4 argument
+// ("transactions sharing a read clock can only both commit if disjoint")
+// requires excluding the equal-timestamp case.
+func (vl *versionList) traverse(rClock uint64) (data uint64, ok bool) {
+	vn := vl.head.Load()
+	for vn != nil {
+		m := vn.meta.Load()
+		if metaTBD(m) && metaTs(m) < rClock {
+			// The pending version was begun below our read clock and
+			// may resolve to a commit clock below it: wait and
+			// re-read the head.
+			runtime.Gosched()
+			vn = vl.head.Load()
+			continue
+		}
+		if metaTs(m) >= rClock || metaTs(m) == deletedTs || metaTBD(m) {
+			vn = vn.older.Load()
+			continue
+		}
+		return vn.data.Load(), true
+	}
+	return 0, false
+}
+
+// vltNode is one entry of a Version List Table bucket (paper Figure 2):
+// the address the list tracks, the list head, and the next bucket entry.
+type vltNode struct {
+	addr  *stm.Word
+	vlist *versionList
+	next  atomic.Pointer[vltNode]
+}
+
+// vltBucket is a linked list of vltNodes. Mutations happen while holding the
+// bucket's versioned lock (the lock table, VLT and bloom table share one
+// index space, so an address's lock also protects its bucket); lookups are
+// lock-free.
+type vltBucket struct {
+	head atomic.Pointer[vltNode]
+}
+
+// lookup returns the version list tracking addr, or nil if addr is
+// unversioned (paper's tryGetVList).
+func (b *vltBucket) lookup(addr *stm.Word) *versionList {
+	for n := b.head.Load(); n != nil; n = n.next.Load() {
+		if n.addr == addr {
+			return n.vlist
+		}
+	}
+	return nil
+}
+
+// insert prepends a new entry for addr. Caller holds the bucket's lock.
+func (b *vltBucket) insert(addr *stm.Word, vl *versionList) {
+	n := &vltNode{addr: addr, vlist: vl}
+	n.next.Store(b.head.Load())
+	b.head.Store(n)
+}
+
+// latestTimestamp returns the newest resolved timestamp across the bucket's
+// version lists, and whether any head is still TBD (in which case the bucket
+// is active and must not be unversioned).
+func (b *vltBucket) latestTimestamp() (ts uint64, activeTBD bool) {
+	for n := b.head.Load(); n != nil; n = n.next.Load() {
+		for vn := n.vlist.head.Load(); vn != nil; vn = vn.older.Load() {
+			m := vn.meta.Load()
+			if metaTBD(m) {
+				return 0, true
+			}
+			if t := metaTs(m); t != deletedTs {
+				if t > ts {
+					ts = t
+				}
+				break // versions below the first resolved one are older
+			}
+		}
+	}
+	return ts, false
+}

@@ -1,0 +1,191 @@
+// Package norec implements NOrec (Dalessandro, Spear, Scott, PPoPP 2010):
+// an opaque unversioned STM with no ownership records. A single global
+// sequence lock orders writers; readers validate by value, re-reading their
+// entire read set whenever the global clock moves.
+package norec
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/ebr"
+	"repro/internal/stm"
+)
+
+// Config tunes a NOrec instance.
+type Config struct {
+	// MaxAttempts bounds retries per transaction; 0 means unlimited.
+	MaxAttempts int
+}
+
+// System is a NOrec STM instance.
+type System struct {
+	cfg Config
+	seq atomic.Uint64 // global sequence lock; odd = writer committing
+	ebr *ebr.Domain
+	reg stm.Registry
+}
+
+// New creates a NOrec instance.
+func New(cfg Config) *System {
+	return &System{cfg: cfg, ebr: ebr.NewDomain()}
+}
+
+// Name implements stm.System.
+func (s *System) Name() string { return "norec" }
+
+// Stats implements stm.System.
+func (s *System) Stats() stm.Stats { return s.reg.Aggregate() }
+
+// Close implements stm.System.
+func (s *System) Close() { s.ebr.Drain() }
+
+// Register implements stm.System.
+func (s *System) Register() stm.Thread {
+	t := &thread{sys: s, ebr: s.ebr.Register()}
+	t.txn.t = t
+	s.reg.Add(&t.ctr)
+	return t
+}
+
+type thread struct {
+	sys *System
+	ebr *ebr.Handle
+	ctr stm.Counters
+	txn txn
+}
+
+type readEntry struct {
+	w *stm.Word
+	v uint64
+}
+
+type writeEntry struct {
+	w *stm.Word
+	v uint64
+}
+
+type txn struct {
+	stm.Hooks
+	t        *thread
+	snapshot uint64
+	readOnly bool
+	reads    []readEntry
+	writes   []writeEntry
+}
+
+// Atomic implements stm.Thread.
+func (t *thread) Atomic(fn func(stm.Txn)) bool { return t.run(fn, false) }
+
+// ReadOnly implements stm.Thread.
+func (t *thread) ReadOnly(fn func(stm.Txn)) bool { return t.run(fn, true) }
+
+// Unregister implements stm.Thread.
+func (t *thread) Unregister() { t.ebr.Unregister() }
+
+func (t *thread) run(fn func(stm.Txn), readOnly bool) bool {
+	tx := &t.txn
+	for attempt := 1; ; attempt++ {
+		tx.begin(readOnly)
+		t.ebr.Pin()
+		oc := stm.RunAttempt(func() {
+			fn(tx)
+			tx.commit()
+		})
+		t.ebr.Unpin()
+		switch oc {
+		case stm.Committed:
+			tx.RunCommit(t.ebr.Retire)
+			t.ctr.Commits.Add(1)
+			if readOnly {
+				t.ctr.ReadOnlyCommits.Add(1)
+			}
+			return true
+		case stm.Cancelled:
+			tx.RunAbort()
+			return false
+		}
+		tx.RunAbort()
+		t.ctr.Aborts.Add(1)
+		if m := t.sys.cfg.MaxAttempts; m > 0 && attempt >= m {
+			t.ctr.Starved.Add(1)
+			return false
+		}
+	}
+}
+
+func (tx *txn) begin(readOnly bool) {
+	tx.Reset()
+	tx.readOnly = readOnly
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	// Wait for any in-flight writer, then record the even snapshot.
+	for {
+		s := tx.t.sys.seq.Load()
+		if s&1 == 0 {
+			tx.snapshot = s
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// validate re-reads the whole read set by value. On success it returns a new
+// consistent (even) snapshot; on any changed value it aborts.
+func (tx *txn) validate() uint64 {
+	for {
+		s := tx.t.sys.seq.Load()
+		if s&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		for _, e := range tx.reads {
+			if e.w.Load() != e.v {
+				stm.AbortAttempt()
+			}
+		}
+		if tx.t.sys.seq.Load() == s {
+			return s
+		}
+	}
+}
+
+// Read implements stm.Txn.
+func (tx *txn) Read(w *stm.Word) uint64 {
+	if !tx.readOnly {
+		for i := len(tx.writes) - 1; i >= 0; i-- {
+			if tx.writes[i].w == w {
+				return tx.writes[i].v
+			}
+		}
+	}
+	v := w.Load()
+	for tx.t.sys.seq.Load() != tx.snapshot {
+		tx.snapshot = tx.validate()
+		v = w.Load()
+	}
+	tx.reads = append(tx.reads, readEntry{w, v})
+	return v
+}
+
+// Write implements stm.Txn: buffered until commit.
+func (tx *txn) Write(w *stm.Word, v uint64) {
+	if tx.readOnly {
+		panic("norec: Write inside ReadOnly transaction")
+	}
+	tx.writes = append(tx.writes, writeEntry{w, v})
+}
+
+func (tx *txn) commit() {
+	if tx.readOnly || len(tx.writes) == 0 {
+		return
+	}
+	sys := tx.t.sys
+	for !sys.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
+		tx.snapshot = tx.validate()
+	}
+	for _, e := range tx.writes {
+		e.w.Store(e.v)
+	}
+	sys.seq.Store(tx.snapshot + 2)
+}

@@ -1,0 +1,17 @@
+package stm
+
+import "runtime"
+
+// Backoff performs the linear backoff used by Multiverse and DCTL after an
+// abort (paper §5: "For both Multiverse and DCTL we use the same linear
+// backoff as in [30]"). On an oversubscribed machine a pure spin would
+// starve the lock holder, so each unit yields the processor.
+func Backoff(attempt int) {
+	n := attempt
+	if n > 32 {
+		n = 32
+	}
+	for i := 0; i < n; i++ {
+		runtime.Gosched()
+	}
+}

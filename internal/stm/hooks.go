@@ -1,0 +1,82 @@
+package stm
+
+import "sync/atomic"
+
+// Hooks is the per-attempt side-effect buffer shared by every TM: abort
+// rollbacks, commit actions and revocable eventual-frees (paper §4.5). TM
+// transaction types embed Hooks to satisfy the corresponding Txn methods.
+type Hooks struct {
+	abortFns  []func()
+	commitFns []func()
+	freeFns   []func()
+}
+
+// OnAbort registers f to run (in reverse registration order) if the attempt
+// aborts.
+func (h *Hooks) OnAbort(f func()) { h.abortFns = append(h.abortFns, f) }
+
+// OnCommit registers f to run immediately after commit.
+func (h *Hooks) OnCommit(f func()) { h.commitFns = append(h.commitFns, f) }
+
+// Free registers a revocable eventual-free.
+func (h *Hooks) Free(f func()) { h.freeFns = append(h.freeFns, f) }
+
+// Cancel voluntarily aborts the transaction. It does not return.
+func (h *Hooks) Cancel() { CancelTxn() }
+
+// Reset clears the buffers for a fresh attempt.
+func (h *Hooks) Reset() {
+	h.abortFns = h.abortFns[:0]
+	h.commitFns = h.commitFns[:0]
+	h.freeFns = h.freeFns[:0]
+}
+
+// RunAbort executes the abort rollbacks (newest first) and drops everything
+// else; the attempt's retires are thereby revoked.
+func (h *Hooks) RunAbort() {
+	for i := len(h.abortFns) - 1; i >= 0; i-- {
+		h.abortFns[i]()
+	}
+	h.Reset()
+}
+
+// RunCommit executes commit actions and hands the eventual-frees to retire
+// (typically ebr.Handle.Retire).
+func (h *Hooks) RunCommit(retire func(func())) {
+	for _, f := range h.commitFns {
+		f()
+	}
+	for _, f := range h.freeFns {
+		retire(f)
+	}
+	h.Reset()
+}
+
+// Counters are per-thread statistic counters. The owning thread increments
+// them; Stats() snapshots race-free via atomics.
+type Counters struct {
+	Commits          atomic.Uint64
+	Aborts           atomic.Uint64
+	Starved          atomic.Uint64
+	ReadOnlyCommits  atomic.Uint64
+	VersionedCommits atomic.Uint64
+	ModeSwitches     atomic.Uint64
+	Unversionings    atomic.Uint64
+	AddrVersioned    atomic.Uint64
+	Irrevocable      atomic.Uint64
+}
+
+// Snapshot returns the current values.
+func (c *Counters) Snapshot() Stats {
+	return Stats{
+		Commits:          c.Commits.Load(),
+		Aborts:           c.Aborts.Load(),
+		Starved:          c.Starved.Load(),
+		ReadOnlyCommits:  c.ReadOnlyCommits.Load(),
+		VersionedCommits: c.VersionedCommits.Load(),
+		ModeSwitches:     c.ModeSwitches.Load(),
+		Unversionings:    c.Unversionings.Load(),
+		AddrVersioned:    c.AddrVersioned.Load(),
+		Irrevocable:      c.Irrevocable.Load(),
+	}
+}

@@ -1,0 +1,28 @@
+package stm
+
+import "sync"
+
+// Registry tracks the Counters of every thread ever registered with a
+// System so Stats can aggregate them, including after threads unregister.
+type Registry struct {
+	mu   sync.Mutex
+	list []*Counters
+}
+
+// Add registers a thread's counters.
+func (r *Registry) Add(c *Counters) {
+	r.mu.Lock()
+	r.list = append(r.list, c)
+	r.mu.Unlock()
+}
+
+// Aggregate sums all registered counters.
+func (r *Registry) Aggregate() Stats {
+	var s Stats
+	r.mu.Lock()
+	for _, c := range r.list {
+		s.Add(c.Snapshot())
+	}
+	r.mu.Unlock()
+	return s
+}

@@ -1,0 +1,126 @@
+package stm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunAttemptOutcomes(t *testing.T) {
+	if oc := RunAttempt(func() {}); oc != Committed {
+		t.Fatalf("clean run = %v want Committed", oc)
+	}
+	if oc := RunAttempt(func() { AbortAttempt() }); oc != Conflicted {
+		t.Fatalf("abort = %v want Conflicted", oc)
+	}
+	if oc := RunAttempt(func() { CancelTxn() }); oc != Cancelled {
+		t.Fatalf("cancel = %v want Cancelled", oc)
+	}
+}
+
+func TestRunAttemptPropagatesForeignPanics(t *testing.T) {
+	boom := errors.New("boom")
+	defer func() {
+		if r := recover(); r != boom {
+			t.Fatalf("foreign panic swallowed or replaced: %v", r)
+		}
+	}()
+	RunAttempt(func() { panic(boom) })
+}
+
+func TestHooksOrderAndReset(t *testing.T) {
+	var h Hooks
+	var order []int
+	h.OnAbort(func() { order = append(order, 1) })
+	h.OnAbort(func() { order = append(order, 2) })
+	h.RunAbort()
+	// Abort hooks run newest-first (undo semantics).
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("abort order %v want [2 1]", order)
+	}
+	// Buffers are cleared by RunAbort.
+	order = nil
+	h.RunAbort()
+	if len(order) != 0 {
+		t.Fatal("RunAbort reran cleared hooks")
+	}
+}
+
+func TestHooksCommitRoutesFreesToRetire(t *testing.T) {
+	var h Hooks
+	committed, freed, retired := false, false, 0
+	h.OnCommit(func() { committed = true })
+	h.Free(func() { freed = true })
+	h.RunCommit(func(fn func()) { retired++; fn() })
+	if !committed || !freed || retired != 1 {
+		t.Fatalf("commit=%v freed=%v retired=%d", committed, freed, retired)
+	}
+}
+
+func TestHooksAbortRevokesFreesAndCommits(t *testing.T) {
+	var h Hooks
+	ran := false
+	h.OnCommit(func() { ran = true })
+	h.Free(func() { ran = true })
+	h.RunAbort()
+	h.RunCommit(func(fn func()) { fn() })
+	if ran {
+		t.Fatal("aborted attempt's commit hooks or frees executed")
+	}
+}
+
+func TestCountersSnapshot(t *testing.T) {
+	var c Counters
+	c.Commits.Add(3)
+	c.Aborts.Add(5)
+	c.VersionedCommits.Add(1)
+	s := c.Snapshot()
+	if s.Commits != 3 || s.Aborts != 5 || s.VersionedCommits != 1 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	var total Stats
+	total.Add(s)
+	total.Add(s)
+	if total.Commits != 6 || total.Aborts != 10 {
+		t.Fatalf("aggregate %+v", total)
+	}
+}
+
+func TestMix64(t *testing.T) {
+	// Bijectivity proxy: no collisions across a dense range, and good
+	// low-bit dispersion (the bits table indices come from).
+	seen := map[uint64]bool{}
+	buckets := map[uint64]int{}
+	for i := uint64(0); i < 1<<16; i++ {
+		h := Mix64(i * 8) // word-aligned addresses
+		if seen[h] {
+			t.Fatalf("collision at %d", i)
+		}
+		seen[h] = true
+		buckets[h&1023]++
+	}
+	for b, n := range buckets {
+		if n > 160 { // 64 expected; x2.5 slack
+			t.Fatalf("bucket %d has %d entries; low bits poorly mixed", b, n)
+		}
+	}
+	if err := quick.Check(func(a, b uint64) bool {
+		return (a == b) == (Mix64(a) == Mix64(b))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordRawOps(t *testing.T) {
+	var w Word
+	if w.Load() != 0 {
+		t.Fatal("zero Word not zero")
+	}
+	w.Store(9)
+	if !w.CompareAndSwap(9, 12) || w.Load() != 12 {
+		t.Fatal("CAS failed")
+	}
+	if w.CompareAndSwap(9, 15) {
+		t.Fatal("stale CAS succeeded")
+	}
+}

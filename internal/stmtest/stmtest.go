@@ -1,0 +1,41 @@
+// Package stmtest provides the shared correctness harness run against every
+// TM implementation: serial semantics, concurrent invariants (bank
+// transfers, snapshot consistency), opacity probes, and progress checks.
+package stmtest
+
+import (
+	"repro/internal/dctl"
+	"repro/internal/mvstm"
+	"repro/internal/norec"
+	"repro/internal/stm"
+	"repro/internal/tinystm"
+	"repro/internal/tl2"
+)
+
+// SmallTables is the lock-table size used in tests: small enough to force
+// lock-table collisions, which exercise the subtle paths (Mode U read state
+// machine, collision aborts).
+const SmallTables = 1 << 10
+
+// Factory builds a fresh TM instance for a test.
+type Factory struct {
+	Name string
+	New  func() stm.System
+}
+
+// All returns factories for every TM in the repository.
+func All() []Factory {
+	return []Factory{
+		{"multiverse", func() stm.System { return mvstm.New(mvstm.Config{LockTableSize: SmallTables}) }},
+		{"multiverse-pinQ", func() stm.System {
+			return mvstm.NewPinned(mvstm.Config{LockTableSize: SmallTables}, mvstm.ModeQ)
+		}},
+		{"multiverse-pinU", func() stm.System {
+			return mvstm.NewPinned(mvstm.Config{LockTableSize: SmallTables}, mvstm.ModeU)
+		}},
+		{"tl2", func() stm.System { return tl2.New(tl2.Config{LockTableSize: SmallTables}) }},
+		{"dctl", func() stm.System { return dctl.New(dctl.Config{LockTableSize: SmallTables}) }},
+		{"norec", func() stm.System { return norec.New(norec.Config{}) }},
+		{"tinystm", func() stm.System { return tinystm.New(tinystm.Config{LockTableSize: SmallTables}) }},
+	}
+}

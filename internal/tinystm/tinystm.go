@@ -1,0 +1,253 @@
+// Package tinystm implements TinySTM (Felber, Fetzer, Riegel, PPoPP 2008)
+// in its write-through configuration: an opaque unversioned STM with a
+// global clock, per-address versioned locks, encounter-time locking with an
+// undo log, and timestamp extension (a transaction whose read hits a version
+// newer than its snapshot revalidates its read set and, if intact, slides
+// its snapshot forward instead of aborting).
+package tinystm
+
+import (
+	"repro/internal/ebr"
+	"repro/internal/gclock"
+	"repro/internal/stm"
+	"repro/internal/vlock"
+)
+
+// Config tunes a TinySTM instance.
+type Config struct {
+	// LockTableSize is the number of versioned locks (rounded up to a
+	// power of two). Default 1<<20.
+	LockTableSize int
+	// MaxAttempts bounds retries per transaction; 0 means unlimited.
+	MaxAttempts int
+}
+
+func (c *Config) fill() {
+	if c.LockTableSize == 0 {
+		c.LockTableSize = 1 << 20
+	}
+}
+
+// System is a TinySTM instance.
+type System struct {
+	cfg   Config
+	clock gclock.Clock
+	locks *vlock.Table
+	ebr   *ebr.Domain
+	reg   stm.Registry
+	tids  stm.Word
+}
+
+// New creates a TinySTM instance.
+func New(cfg Config) *System {
+	cfg.fill()
+	s := &System{cfg: cfg, locks: vlock.NewTable(cfg.LockTableSize), ebr: ebr.NewDomain()}
+	s.clock.Set(1)
+	return s
+}
+
+// Name implements stm.System.
+func (s *System) Name() string { return "tinystm" }
+
+// Stats implements stm.System.
+func (s *System) Stats() stm.Stats { return s.reg.Aggregate() }
+
+// Close implements stm.System.
+func (s *System) Close() { s.ebr.Drain() }
+
+// Register implements stm.System.
+func (s *System) Register() stm.Thread {
+	tid := int(s.tids.Load())%(1<<14-1) + 1
+	for !s.tids.CompareAndSwap(uint64(tid-1), uint64(tid)) {
+		tid = int(s.tids.Load())%(1<<14-1) + 1
+	}
+	t := &thread{sys: s, tid: tid, ebr: s.ebr.Register()}
+	t.txn.t = t
+	s.reg.Add(&t.ctr)
+	return t
+}
+
+type thread struct {
+	sys *System
+	tid int
+	ebr *ebr.Handle
+	ctr stm.Counters
+	txn txn
+}
+
+type readEntry struct {
+	l    *vlock.Lock
+	seen uint64 // version observed at read time (for extension)
+}
+
+type undoEntry struct {
+	w   *stm.Word
+	old uint64
+}
+
+type txn struct {
+	stm.Hooks
+	t        *thread
+	rv       uint64
+	readOnly bool
+	reads    []readEntry
+	undo     []undoEntry
+	locked   []*vlock.Lock
+}
+
+// Atomic implements stm.Thread.
+func (t *thread) Atomic(fn func(stm.Txn)) bool { return t.run(fn, false) }
+
+// ReadOnly implements stm.Thread.
+func (t *thread) ReadOnly(fn func(stm.Txn)) bool { return t.run(fn, true) }
+
+// Unregister implements stm.Thread.
+func (t *thread) Unregister() { t.ebr.Unregister() }
+
+func (t *thread) run(fn func(stm.Txn), readOnly bool) bool {
+	tx := &t.txn
+	for attempt := 1; ; attempt++ {
+		tx.begin(readOnly)
+		t.ebr.Pin()
+		oc := stm.RunAttempt(func() {
+			fn(tx)
+			tx.commit()
+		})
+		t.ebr.Unpin()
+		switch oc {
+		case stm.Committed:
+			tx.RunCommit(t.ebr.Retire)
+			t.ctr.Commits.Add(1)
+			if readOnly {
+				t.ctr.ReadOnlyCommits.Add(1)
+			}
+			return true
+		case stm.Cancelled:
+			tx.rollback()
+			return false
+		}
+		tx.rollback()
+		t.ctr.Aborts.Add(1)
+		if m := t.sys.cfg.MaxAttempts; m > 0 && attempt >= m {
+			t.ctr.Starved.Add(1)
+			return false
+		}
+	}
+}
+
+func (tx *txn) begin(readOnly bool) {
+	tx.Reset()
+	tx.readOnly = readOnly
+	tx.reads = tx.reads[:0]
+	tx.undo = tx.undo[:0]
+	tx.locked = tx.locked[:0]
+	tx.rv = tx.t.sys.clock.Load()
+}
+
+// rollback restores in-place writes (newest first) and releases locks with
+// a freshly incremented clock value. Releasing with the old version would be
+// an ABA hazard: a reader that sampled the lock, then the dirty value, then
+// the (restored) lock word again would validate an inconsistent read.
+func (tx *txn) rollback() {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.undo[i].w.Store(tx.undo[i].old)
+	}
+	tx.undo = tx.undo[:0]
+	if len(tx.locked) > 0 {
+		wv := tx.t.sys.clock.Increment()
+		for _, l := range tx.locked {
+			l.Release(wv)
+		}
+		tx.locked = tx.locked[:0]
+	}
+	tx.RunAbort()
+}
+
+// extend revalidates the read set against the current clock and, if every
+// observed version is unchanged, slides the snapshot forward (TinySTM's
+// timestamp extension). Aborts otherwise.
+func (tx *txn) extend() {
+	now := tx.t.sys.clock.Load()
+	for _, e := range tx.reads {
+		s := e.l.Load()
+		if s.Locked() && s.TID() != tx.t.tid {
+			stm.AbortAttempt()
+		}
+		if s.Version() != e.seen {
+			stm.AbortAttempt()
+		}
+	}
+	tx.rv = now
+}
+
+// Read implements stm.Txn. Write-through: in-place values are current, so a
+// self-owned lock means the value can be returned directly.
+func (tx *txn) Read(w *stm.Word) uint64 {
+	l := tx.t.sys.locks.Of(w)
+	for {
+		s := l.Load()
+		if s.Locked() {
+			if s.TID() == tx.t.tid {
+				return w.Load()
+			}
+			stm.AbortAttempt()
+		}
+		v := w.Load()
+		if l.Load() != s {
+			continue // racing writer; resample
+		}
+		if s.Version() > tx.rv {
+			tx.extend() // may abort
+			continue
+		}
+		tx.reads = append(tx.reads, readEntry{l, s.Version()})
+		return v
+	}
+}
+
+// Write implements stm.Txn: encounter-time lock, undo log, write in place.
+func (tx *txn) Write(w *stm.Word, v uint64) {
+	if tx.readOnly {
+		panic("tinystm: Write inside ReadOnly transaction")
+	}
+	l := tx.t.sys.locks.Of(w)
+	s := l.Load()
+	if s.Locked() && s.TID() == tx.t.tid {
+		tx.undo = append(tx.undo, undoEntry{w, w.Load()})
+		w.Store(v)
+		return
+	}
+	if s.Held() || s.Version() > tx.rv {
+		stm.AbortAttempt()
+	}
+	if !l.CompareAndSwap(s, vlock.Pack(true, false, tx.t.tid, s.Version())) {
+		stm.AbortAttempt()
+	}
+	tx.locked = append(tx.locked, l)
+	tx.undo = append(tx.undo, undoEntry{w, w.Load()})
+	w.Store(v)
+}
+
+func (tx *txn) commit() {
+	if tx.readOnly || len(tx.locked) == 0 {
+		return
+	}
+	wv := tx.t.sys.clock.Increment()
+	if wv != tx.rv+1 {
+		// Someone committed since our snapshot: revalidate.
+		for _, e := range tx.reads {
+			s := e.l.Load()
+			if s.Locked() && s.TID() != tx.t.tid {
+				stm.AbortAttempt()
+			}
+			if s.Version() != e.seen {
+				stm.AbortAttempt()
+			}
+		}
+	}
+	for _, l := range tx.locked {
+		l.Release(wv)
+	}
+	tx.locked = tx.locked[:0]
+	tx.undo = tx.undo[:0]
+}

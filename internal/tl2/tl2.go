@@ -1,0 +1,247 @@
+// Package tl2 implements Transactional Locking II (Dice, Shalev, Shavit,
+// DISC 2006), the classic opaque unversioned STM the paper compares against:
+// commit-time locking, buffered (redo-log) writes, a GV4 global clock, and
+// per-address versioned locks in an external lock table.
+package tl2
+
+import (
+	"runtime"
+
+	"repro/internal/ebr"
+	"repro/internal/gclock"
+	"repro/internal/stm"
+	"repro/internal/vlock"
+)
+
+// Config tunes a TL2 instance.
+type Config struct {
+	// LockTableSize is the number of versioned locks (rounded up to a
+	// power of two). Default 1<<20.
+	LockTableSize int
+	// MaxAttempts bounds retries per transaction; 0 means unlimited.
+	// The paper notes baselines "reach their maximum allowed aborts and
+	// quit" on long range queries.
+	MaxAttempts int
+}
+
+func (c *Config) fill() {
+	if c.LockTableSize == 0 {
+		c.LockTableSize = 1 << 20
+	}
+}
+
+// System is a TL2 STM instance.
+type System struct {
+	cfg   Config
+	clock gclock.Clock
+	locks *vlock.Table
+	ebr   *ebr.Domain
+	reg   stm.Registry
+	tids  tidAllocator
+}
+
+// New creates a TL2 instance.
+func New(cfg Config) *System {
+	cfg.fill()
+	s := &System{cfg: cfg, locks: vlock.NewTable(cfg.LockTableSize), ebr: ebr.NewDomain()}
+	s.clock.Set(1)
+	return s
+}
+
+// Name implements stm.System.
+func (s *System) Name() string { return "tl2" }
+
+// Stats implements stm.System.
+func (s *System) Stats() stm.Stats { return s.reg.Aggregate() }
+
+// Close implements stm.System.
+func (s *System) Close() { s.ebr.Drain() }
+
+// Register implements stm.System.
+func (s *System) Register() stm.Thread {
+	t := &thread{sys: s, tid: s.tids.next(), ebr: s.ebr.Register()}
+	t.txn.t = t
+	s.reg.Add(&t.ctr)
+	return t
+}
+
+type writeEntry struct {
+	w *stm.Word
+	v uint64
+}
+
+type thread struct {
+	sys *System
+	tid int
+	ebr *ebr.Handle
+	ctr stm.Counters
+	txn txn
+}
+
+type txn struct {
+	stm.Hooks
+	t        *thread
+	rv       uint64
+	readOnly bool
+	reads    []*vlock.Lock
+	writes   []writeEntry
+	locked   []*vlock.Lock
+}
+
+// Atomic implements stm.Thread.
+func (t *thread) Atomic(fn func(stm.Txn)) bool { return t.run(fn, false) }
+
+// ReadOnly implements stm.Thread.
+func (t *thread) ReadOnly(fn func(stm.Txn)) bool { return t.run(fn, true) }
+
+// Unregister implements stm.Thread.
+func (t *thread) Unregister() { t.ebr.Unregister() }
+
+func (t *thread) run(fn func(stm.Txn), readOnly bool) bool {
+	tx := &t.txn
+	for attempt := 1; ; attempt++ {
+		tx.begin(readOnly)
+		t.ebr.Pin()
+		oc := stm.RunAttempt(func() {
+			fn(tx)
+			tx.commit()
+		})
+		t.ebr.Unpin()
+		switch oc {
+		case stm.Committed:
+			tx.RunCommit(t.ebr.Retire)
+			t.ctr.Commits.Add(1)
+			if readOnly {
+				t.ctr.ReadOnlyCommits.Add(1)
+			}
+			return true
+		case stm.Cancelled:
+			tx.rollback()
+			return false
+		}
+		tx.rollback()
+		t.ctr.Aborts.Add(1)
+		if m := t.sys.cfg.MaxAttempts; m > 0 && attempt >= m {
+			t.ctr.Starved.Add(1)
+			return false
+		}
+	}
+}
+
+func (tx *txn) begin(readOnly bool) {
+	tx.Reset()
+	tx.readOnly = readOnly
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	tx.locked = tx.locked[:0]
+	tx.rv = tx.t.sys.clock.Load()
+}
+
+// rollback releases any commit-time locks (restoring their pre-lock
+// version) and runs the abort hooks.
+func (tx *txn) rollback() {
+	for _, l := range tx.locked {
+		l.Release(l.Load().Version())
+	}
+	tx.locked = tx.locked[:0]
+	tx.RunAbort()
+}
+
+// Read implements stm.Txn. TL2 read protocol: consult the redo log, then
+// sample the lock, read the value, and re-sample to detect racing writers.
+func (tx *txn) Read(w *stm.Word) uint64 {
+	if !tx.readOnly {
+		for i := len(tx.writes) - 1; i >= 0; i-- {
+			if tx.writes[i].w == w {
+				return tx.writes[i].v
+			}
+		}
+	}
+	l := tx.t.sys.locks.Of(w)
+	s1 := l.Load()
+	if s1.Held() || s1.Version() > tx.rv {
+		stm.AbortAttempt()
+	}
+	v := w.Load()
+	if l.Load() != s1 {
+		stm.AbortAttempt()
+	}
+	// Read-only TL2 transactions need no read set: per-read validation
+	// against rv suffices and commit is a no-op.
+	if !tx.readOnly {
+		tx.reads = append(tx.reads, l)
+	}
+	return v
+}
+
+// Write implements stm.Txn: TL2 buffers writes until commit.
+func (tx *txn) Write(w *stm.Word, v uint64) {
+	if tx.readOnly {
+		panic("tl2: Write inside ReadOnly transaction")
+	}
+	tx.writes = append(tx.writes, writeEntry{w, v})
+}
+
+func (tx *txn) commit() {
+	if tx.readOnly || len(tx.writes) == 0 {
+		return
+	}
+	t := tx.t
+	sys := t.sys
+	// Commit-time locking of the write set; busy locks abort (bounded
+	// spinning degenerates to abort under oversubscription anyway).
+	for _, e := range tx.writes {
+		l := sys.locks.Of(e.w)
+		if tx.owns(l) {
+			continue
+		}
+		s := l.Load()
+		if s.Held() || s.Version() > tx.rv {
+			stm.AbortAttempt()
+		}
+		if !l.CompareAndSwap(s, vlock.Pack(true, false, t.tid, s.Version())) {
+			stm.AbortAttempt()
+		}
+		tx.locked = append(tx.locked, l)
+	}
+	wv := sys.clock.TickGV4()
+	// GV4 special case: if wv == rv+1 no concurrent commit interleaved,
+	// so the read set is trivially still valid.
+	if wv != tx.rv+1 {
+		for _, l := range tx.reads {
+			s := l.Load()
+			if (s.Held() && !tx.owns(l)) || s.Version() > tx.rv {
+				stm.AbortAttempt()
+			}
+		}
+	}
+	for _, e := range tx.writes {
+		e.w.Store(e.v)
+	}
+	for _, l := range tx.locked {
+		l.Release(wv)
+	}
+	tx.locked = tx.locked[:0]
+}
+
+func (tx *txn) owns(l *vlock.Lock) bool {
+	for _, x := range tx.locked {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// tidAllocator hands out small thread ids for the lock tid field.
+type tidAllocator struct{ n stm.Word }
+
+func (a *tidAllocator) next() int {
+	for {
+		v := a.n.Load()
+		if a.n.CompareAndSwap(v, v+1) {
+			return int(v%(1<<14-1)) + 1
+		}
+		runtime.Gosched()
+	}
+}

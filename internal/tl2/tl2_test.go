@@ -1,0 +1,96 @@
+package tl2
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/stm"
+)
+
+func newSys() *System { return New(Config{LockTableSize: 1 << 10}) }
+
+// TestBufferedWritesInvisibleUntilCommit: TL2 redo-logs writes, so nothing
+// reaches memory before the commit protocol (unlike the encounter-time
+// TMs). A raw load mid-transaction must still see the old value.
+func TestBufferedWritesInvisibleUntilCommit(t *testing.T) {
+	sys := newSys()
+	defer sys.Close()
+	th := sys.Register()
+	defer th.Unregister()
+	var w stm.Word
+	w.Store(1)
+	th.Atomic(func(tx stm.Txn) {
+		tx.Write(&w, 2)
+		if raw := w.Load(); raw != 1 {
+			t.Errorf("buffered write leaked to memory before commit: %d", raw)
+		}
+		if v := tx.Read(&w); v != 2 {
+			t.Errorf("read-own-write through redo log = %d want 2", v)
+		}
+	})
+	if w.Load() != 2 {
+		t.Fatalf("committed value %d want 2", w.Load())
+	}
+}
+
+func TestGV4CommitAdvancesLockVersions(t *testing.T) {
+	sys := newSys()
+	defer sys.Close()
+	th := sys.Register()
+	defer th.Unregister()
+	var w stm.Word
+	before := sys.clock.Load()
+	th.Atomic(func(tx stm.Txn) { tx.Write(&w, 5) })
+	s := sys.locks.Of(&w).Load()
+	if s.Held() {
+		t.Fatal("lock leaked")
+	}
+	if s.Version() <= before {
+		t.Fatalf("lock version %d not advanced past %d", s.Version(), before)
+	}
+}
+
+func TestMaxAttemptsStarves(t *testing.T) {
+	sys := New(Config{LockTableSize: 1 << 10, MaxAttempts: 3})
+	defer sys.Close()
+	var w stm.Word
+	// Hold w's lock forever with a fake owner: every attempt aborts.
+	l := sys.locks.Of(&w)
+	if _, ok := l.TryAcquire(9999); !ok {
+		t.Fatal("setup: could not acquire lock")
+	}
+	th := sys.Register()
+	defer th.Unregister()
+	if th.Atomic(func(tx stm.Txn) { tx.Read(&w) }) {
+		t.Fatal("txn committed against a permanently held lock")
+	}
+	st := sys.Stats()
+	if st.Starved != 1 {
+		t.Fatalf("starved=%d want 1", st.Starved)
+	}
+	if st.Aborts != 3 {
+		t.Fatalf("aborts=%d want 3 (MaxAttempts)", st.Aborts)
+	}
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	sys := newSys()
+	defer sys.Close()
+	var w stm.Word
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := sys.Register()
+			defer th.Unregister()
+			for i := 0; i < 500; i++ {
+				th.Atomic(func(tx stm.Txn) { tx.Write(&w, tx.Read(&w)+1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if w.Load() != 2000 {
+		t.Fatalf("w=%d want 2000 (lost updates)", w.Load())
+	}
+}

@@ -1,0 +1,102 @@
+package tpcc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stm"
+	"repro/internal/workload"
+)
+
+// MixCounts tallies committed transactions per TPC-C profile.
+type MixCounts struct {
+	NewOrder    uint64
+	Payment     uint64
+	OrderStatus uint64
+	Delivery    uint64
+	StockLevel  uint64
+	Starved     uint64 // any profile that gave up at the TM's attempt bound
+}
+
+// Total returns all committed transactions.
+func (m MixCounts) Total() uint64 {
+	return m.NewOrder + m.Payment + m.OrderStatus + m.Delivery + m.StockLevel
+}
+
+func (m MixCounts) String() string {
+	return fmt.Sprintf("total=%d neworder=%d payment=%d orderstatus=%d delivery=%d stocklevel=%d starved=%d",
+		m.Total(), m.NewOrder, m.Payment, m.OrderStatus, m.Delivery, m.StockLevel, m.Starved)
+}
+
+// RunMix drives the standard TPC-C transaction mix (45% NewOrder, 43%
+// Payment, 4% each of the rest) from `threads` workers for the duration.
+// StockLevel scans `slRecent` recent orders, making it the long-running
+// read. Returns per-profile committed counts.
+func RunMix(sys stm.System, db *DB, threads int, dur time.Duration, slRecent int, seed uint64) MixCounts {
+	var stop atomic.Bool
+	var mu sync.Mutex
+	var total MixCounts
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			th := sys.Register()
+			defer th.Unregister()
+			r := workload.NewRng(seed)
+			var local MixCounts
+			cfg := db.Cfg()
+			for !stop.Load() {
+				w := r.Intn(cfg.Warehouses)
+				d := r.Intn(cfg.DistrictsPerW)
+				c := r.Intn(cfg.CustomersPerD)
+				switch p := r.Intn(100); {
+				case p < 45:
+					if _, ok := db.NewOrder(th, w, d, c, RandomLines(r, cfg.Items)); ok {
+						local.NewOrder++
+					} else {
+						local.Starved++
+					}
+				case p < 88:
+					if db.Payment(th, w, d, c, uint64(r.Intn(5000))+1) {
+						local.Payment++
+					} else {
+						local.Starved++
+					}
+				case p < 92:
+					if _, ok := db.OrderStatus(th, w, d, c); ok {
+						local.OrderStatus++
+					} else {
+						local.Starved++
+					}
+				case p < 96:
+					if _, ok := db.Delivery(th, w); ok {
+						local.Delivery++
+					} else {
+						local.Starved++
+					}
+				default:
+					if _, ok := db.StockLevel(th, w, d, slRecent, 50); ok {
+						local.StockLevel++
+					} else {
+						local.Starved++
+					}
+				}
+			}
+			mu.Lock()
+			total.NewOrder += local.NewOrder
+			total.Payment += local.Payment
+			total.OrderStatus += local.OrderStatus
+			total.Delivery += local.Delivery
+			total.StockLevel += local.StockLevel
+			total.Starved += local.Starved
+			mu.Unlock()
+		}(seed ^ uint64(t+1)*0x9e3779b97f4a7c15)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return total
+}

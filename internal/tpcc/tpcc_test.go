@@ -1,0 +1,178 @@
+package tpcc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dctl"
+	"repro/internal/mvstm"
+	"repro/internal/stm"
+	"repro/internal/workload"
+)
+
+func small() Config { return Config{Warehouses: 1, DistrictsPerW: 4, CustomersPerD: 8, Items: 64} }
+
+func TestNewOrderAllocatesDenseIDs(t *testing.T) {
+	sys := dctl.New(dctl.Config{LockTableSize: 1 << 12})
+	defer sys.Close()
+	db := New(small())
+	th := sys.Register()
+	defer th.Unregister()
+	r := workload.NewRng(1)
+	for i := uint64(0); i < 10; i++ {
+		oid, ok := db.NewOrder(th, 0, 1, 2, RandomLines(r, 64))
+		if !ok {
+			t.Fatal("new order failed")
+		}
+		if oid != i {
+			t.Fatalf("oid=%d want %d (dense per-district allocation)", oid, i)
+		}
+	}
+	if lines, ok := db.OrderStatus(th, 0, 1, 2); !ok || lines < 5 || lines > 15 {
+		t.Fatalf("order status lines=%d want 5..15", lines)
+	}
+}
+
+func TestPaymentLedgerInvariant(t *testing.T) {
+	sys := dctl.New(dctl.Config{LockTableSize: 1 << 12})
+	defer sys.Close()
+	db := New(small())
+	th := sys.Register()
+	defer th.Unregister()
+	r := workload.NewRng(2)
+	var want uint64
+	for i := 0; i < 200; i++ {
+		amt := uint64(r.Intn(100)) + 1
+		if !db.Payment(th, 0, r.Intn(4), r.Intn(8), amt) {
+			t.Fatal("payment failed")
+		}
+		want += amt
+	}
+	wYTD, dSum, ok := db.WarehouseYTD(th, 0)
+	if !ok || wYTD != want || dSum != want {
+		t.Fatalf("wYTD=%d dSum=%d want %d", wYTD, dSum, want)
+	}
+}
+
+func TestDeliveryAdvancesCursor(t *testing.T) {
+	sys := dctl.New(dctl.Config{LockTableSize: 1 << 12})
+	defer sys.Close()
+	db := New(small())
+	th := sys.Register()
+	defer th.Unregister()
+	r := workload.NewRng(3)
+	// Three orders in district 0, one in district 1.
+	for i := 0; i < 3; i++ {
+		db.NewOrder(th, 0, 0, 1, RandomLines(r, 64))
+	}
+	db.NewOrder(th, 0, 1, 1, RandomLines(r, 64))
+	n, ok := db.Delivery(th, 0)
+	if !ok || n != 2 {
+		t.Fatalf("first delivery handled %d districts, want 2", n)
+	}
+	n, _ = db.Delivery(th, 0)
+	if n != 1 {
+		t.Fatalf("second delivery handled %d, want 1 (district 0 backlog)", n)
+	}
+	n, _ = db.Delivery(th, 0)
+	if n != 1 {
+		t.Fatalf("third delivery handled %d, want 1", n)
+	}
+	n, _ = db.Delivery(th, 0)
+	if n != 0 {
+		t.Fatalf("fourth delivery handled %d, want 0 (all delivered)", n)
+	}
+}
+
+func TestStockLevelCountsLowItems(t *testing.T) {
+	sys := dctl.New(dctl.Config{LockTableSize: 1 << 12})
+	defer sys.Close()
+	db := New(small())
+	th := sys.Register()
+	defer th.Unregister()
+	// One order for items 0 and 1; drain item 0's stock below 50.
+	db.NewOrder(th, 0, 0, 0, []OrderLine{{Item: 0, Qty: 5}, {Item: 1, Qty: 5}})
+	th.Atomic(func(tx stm.Txn) {
+		tx.Write(&db.stockQty[db.stock(0, 0)], 7)
+	})
+	low, ok := db.StockLevel(th, 0, 0, 20, 50)
+	if !ok || low != 1 {
+		t.Fatalf("stock level low=%d want 1", low)
+	}
+}
+
+// TestConcurrentConsistency runs the full mix while an auditor checks the
+// warehouse/district ledger invariant atomically, then verifies the final
+// state: dense orders all present with their lines, delivery cursors within
+// bounds, and ledgers balanced.
+func TestConcurrentConsistency(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		sys  stm.System
+	}{
+		{"dctl", dctl.New(dctl.Config{LockTableSize: 1 << 14})},
+		{"multiverse", mvstm.New(mvstm.Config{LockTableSize: 1 << 14})},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			sys := mk.sys
+			defer sys.Close()
+			db := New(Config{Warehouses: 1, DistrictsPerW: 4, CustomersPerD: 16, Items: 128})
+
+			var stop atomic.Bool
+			var auditWG sync.WaitGroup
+			var badAudits atomic.Uint64
+			auditWG.Add(1)
+			go func() {
+				defer auditWG.Done()
+				th := sys.Register()
+				defer th.Unregister()
+				for !stop.Load() {
+					wYTD, dSum, ok := db.WarehouseYTD(th, 0)
+					if ok && wYTD != dSum {
+						badAudits.Add(1)
+						return
+					}
+				}
+			}()
+			counts := RunMix(sys, db, 3, 300*time.Millisecond, 8, 7)
+			stop.Store(true)
+			auditWG.Wait()
+			if badAudits.Load() != 0 {
+				t.Fatal("ledger invariant violated in a snapshot")
+			}
+			if counts.NewOrder == 0 || counts.Payment == 0 {
+				t.Fatalf("mix did not run: %v", counts)
+			}
+
+			th := sys.Register()
+			defer th.Unregister()
+			// Every allocated order id must have an order row and
+			// 5–15 lines; delivery cursors never pass the allocator.
+			th.ReadOnly(func(tx stm.Txn) {
+				for d := 0; d < 4; d++ {
+					dIdx := db.district(0, d)
+					next := tx.Read(&db.districtNextO[dIdx])
+					cur := tx.Read(&db.districtDelivCur[dIdx])
+					if cur > next {
+						t.Errorf("district %d: delivery cursor %d beyond allocator %d", d, cur, next)
+					}
+					for oid := uint64(0); oid < next; oid++ {
+						if _, found := db.orders.SearchTx(tx, db.oKey(0, d, oid)); !found {
+							t.Errorf("district %d: order %d missing", d, oid)
+						}
+						n, _ := db.orderLines.RangeTx(tx, db.olKey(0, d, oid, 0), db.olKey(0, d, oid, 29))
+						if n < 5 || n > 15 {
+							t.Errorf("district %d order %d has %d lines", d, oid, n)
+						}
+					}
+				}
+			})
+			wYTD, dSum, _ := db.WarehouseYTD(th, 0)
+			if wYTD != dSum {
+				t.Fatalf("final ledgers diverged: w=%d districts=%d", wYTD, dSum)
+			}
+		})
+	}
+}

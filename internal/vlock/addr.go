@@ -1,0 +1,13 @@
+package vlock
+
+import (
+	"unsafe"
+
+	"repro/internal/stm"
+)
+
+// addrOf returns the address of a transactional word as an integer. Word
+// addresses are stable: Go's garbage collector does not move heap objects.
+// The address is used only as a hash key; it is never dereferenced from the
+// integer form, so this is safe under the unsafe.Pointer rules.
+func addrOf(w *stm.Word) uintptr { return uintptr(unsafe.Pointer(w)) }

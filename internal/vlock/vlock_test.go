@@ -1,0 +1,112 @@
+package vlock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stm"
+)
+
+func TestPackRoundTrip(t *testing.T) {
+	f := func(locked, flag bool, tid uint16, version uint64) bool {
+		tid14 := int(tid & (1<<14 - 1))
+		v48 := version & VersionMax
+		s := Pack(locked, flag, tid14, v48)
+		return s.Locked() == locked && s.Flagged() == flag &&
+			s.TID() == tid14 && s.Version() == v48 &&
+			s.Held() == (locked || flag)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionDoesNotBleedIntoFlags(t *testing.T) {
+	s := Pack(false, false, 0, VersionMax)
+	if s.Locked() || s.Flagged() {
+		t.Fatal("max version set lock/flag bits")
+	}
+	s = Pack(true, true, 1<<14-1, VersionMax)
+	if s.Version() != VersionMax || s.TID() != 1<<14-1 {
+		t.Fatal("fields collided at max values")
+	}
+}
+
+func TestTryAcquireRelease(t *testing.T) {
+	var l Lock
+	l.Release(7)
+	pre, ok := l.TryAcquire(3)
+	if !ok || pre.Version() != 7 {
+		t.Fatalf("acquire failed or lost version: %v %v", pre, ok)
+	}
+	if _, ok := l.TryAcquire(4); ok {
+		t.Fatal("double acquire succeeded")
+	}
+	if _, ok := l.TryFlag(4); ok {
+		t.Fatal("flag acquired over a held lock")
+	}
+	s := l.Load()
+	if !s.Locked() || s.TID() != 3 || s.Version() != 7 {
+		t.Fatalf("held state wrong: %+v", s)
+	}
+	l.Release(9)
+	s = l.Load()
+	if s.Held() || s.Version() != 9 {
+		t.Fatalf("release state wrong: %+v", s)
+	}
+}
+
+func TestTryFlag(t *testing.T) {
+	var l Lock
+	l.Release(2)
+	pre, ok := l.TryFlag(5)
+	if !ok || pre.Version() != 2 {
+		t.Fatal("flag acquisition failed")
+	}
+	s := l.Load()
+	if !s.Flagged() || s.Locked() {
+		t.Fatalf("flag state wrong: %+v", s)
+	}
+	if _, ok := l.TryAcquire(6); ok {
+		t.Fatal("acquire succeeded over a flagged lock")
+	}
+}
+
+func TestTableMapping(t *testing.T) {
+	tbl := NewTable(100) // rounds to 128
+	if tbl.Len() != 128 {
+		t.Fatalf("len=%d want 128", tbl.Len())
+	}
+	words := make([]stm.Word, 1000)
+	for i := range words {
+		idx := tbl.IndexOf(&words[i])
+		if idx >= uint64(tbl.Len()) {
+			t.Fatalf("index %d out of range", idx)
+		}
+		if tbl.At(idx) != tbl.Of(&words[i]) {
+			t.Fatal("At/Of disagree")
+		}
+		// The full hash must project onto the index under the mask.
+		if tbl.Hash(&words[i])&tbl.Mask() != idx {
+			t.Fatal("Hash/Mask inconsistent with IndexOf")
+		}
+		// Mapping must be deterministic.
+		if tbl.IndexOf(&words[i]) != idx {
+			t.Fatal("mapping not stable")
+		}
+	}
+}
+
+func TestMappingSpreads(t *testing.T) {
+	tbl := NewTable(1 << 10)
+	words := make([]stm.Word, 1<<10)
+	used := map[uint64]bool{}
+	for i := range words {
+		used[tbl.IndexOf(&words[i])] = true
+	}
+	// With 1024 words into 1024 slots expect ~63% distinct under uniform
+	// hashing; far fewer indicates a broken mixer.
+	if len(used) < 400 {
+		t.Fatalf("only %d distinct slots for 1024 words", len(used))
+	}
+}

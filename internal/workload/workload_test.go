@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixSampling(t *testing.T) {
+	m := Mix{InsertPct: 0.05, DeletePct: 0.05, RQPct: 0.0001, RQSize: 100}
+	r := NewRng(7)
+	counts := map[Op]int{}
+	const n = 1000000
+	for i := 0; i < n; i++ {
+		counts[m.Sample(r.Float64())]++
+	}
+	frac := func(op Op) float64 { return float64(counts[op]) / n }
+	if f := frac(OpInsert); math.Abs(f-0.05) > 0.005 {
+		t.Errorf("insert fraction %.4f want ~0.05", f)
+	}
+	if f := frac(OpDelete); math.Abs(f-0.05) > 0.005 {
+		t.Errorf("delete fraction %.4f want ~0.05", f)
+	}
+	if f := frac(OpRange); f == 0 || f > 0.001 {
+		t.Errorf("rq fraction %.6f want ~0.0001", f)
+	}
+	if f := frac(OpSearch); math.Abs(f-0.8999) > 0.01 {
+		t.Errorf("search fraction %.4f want ~0.8999", f)
+	}
+}
+
+func TestUniformInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRng(seed)
+		u := Uniform{N: 1000}
+		for i := 0; i < 100; i++ {
+			k := u.Draw(r)
+			if k < 1 || k > 1000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfianInRangeAndSkewed(t *testing.T) {
+	const n = 100000
+	z := NewZipfian(n, 0.9, false)
+	r := NewRng(3)
+	counts := map[uint64]int{}
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		k := z.Draw(r)
+		if k < 1 || k > n {
+			t.Fatalf("zipf key %d out of [1,%d]", k, n)
+		}
+		counts[k]++
+	}
+	// Unscrambled zipf: rank 1 must be by far the hottest key, and the
+	// top-10 ranks must take a disproportionate share.
+	if counts[1] < draws/100 {
+		t.Errorf("rank-1 key drawn only %d/%d times; not skewed", counts[1], draws)
+	}
+	top10 := 0
+	for k := uint64(1); k <= 10; k++ {
+		top10 += counts[k]
+	}
+	if float64(top10)/draws < 0.05 {
+		t.Errorf("top-10 share %.4f too small for zipf(0.9)", float64(top10)/draws)
+	}
+}
+
+func TestScrambledZipfianSpreadsHotKeys(t *testing.T) {
+	const n = 100000
+	z := NewZipfian(n, 0.9, true)
+	r := NewRng(9)
+	counts := map[uint64]int{}
+	for i := 0; i < 100000; i++ {
+		counts[z.Draw(r)]++
+	}
+	// The hottest key should no longer be key 1 specifically; hot keys
+	// are hashed across the space but skew must remain.
+	maxKey, maxCount := uint64(0), 0
+	for k, c := range counts {
+		if c > maxCount {
+			maxKey, maxCount = k, c
+		}
+	}
+	if maxCount < 500 {
+		t.Errorf("hottest key only %d draws; scramble destroyed skew", maxCount)
+	}
+	if maxKey == 1 {
+		t.Log("hottest key is 1; possible but unlikely under scrambling")
+	}
+}
+
+func TestRngDeterminism(t *testing.T) {
+	a, b := NewRng(5), NewRng(5)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRng(0).Next() == 0 {
+		t.Fatal("zero seed not remapped")
+	}
+}
