@@ -56,6 +56,9 @@ func runPoint(b *testing.B, cfg bench.Config) {
 	b.ReportMetric(float64(res.MaxHeapKB), "heapKB")
 	b.ReportMetric(res.OpsPerCPUSec, "ops/cpu-s")
 	b.ReportMetric(float64(res.Starved), "starved")
+	b.ReportMetric(res.AllocsPerOp, "allocs/op-tm")
+	b.ReportMetric(float64(res.NumGC), "gc-cycles")
+	b.ReportMetric(float64(res.GCPauseTotal.Microseconds()), "gcPause-µs")
 }
 
 // BenchmarkFig1 — (a,b)-tree, 89.99% search / 0.01% RQ / 5% ins / 5% del,
@@ -268,6 +271,27 @@ func BenchmarkTxnUpdate2(b *testing.B) {
 					tx.Write(&a, tx.Read(&a)+1)
 					tx.Write(&c, tx.Read(&c)+1)
 				})
+			}
+		})
+	}
+}
+
+// BenchmarkVersionedWrite measures Multiverse's versioned write path (Mode
+// U: every write pushes a version and retires the superseded one). Run with
+// -benchmem: steady state must be allocation-free (pooled version nodes,
+// closure-free retires).
+func BenchmarkVersionedWrite(b *testing.B) {
+	sys := mvstm.NewPinned(mvstm.Config{LockTableSize: 1 << 12, DisableBG: true}, mvstm.ModeU)
+	defer sys.Close()
+	th := sys.RegisterMV()
+	defer th.Unregister()
+	var words [8]stm.Word
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Atomic(func(tx stm.Txn) {
+			for j := range words {
+				tx.Write(&words[j], uint64(i+j))
 			}
 		})
 	}

@@ -86,6 +86,12 @@ type Result struct {
 	MaxHeapKB    uint64  // peak observed heap during measurement
 	CPUSeconds   float64 // process CPU time consumed (energy proxy)
 	OpsPerCPUSec float64 // throughput per CPU-second ("per joule" analogue)
+	// GC pressure over the measurement window (runtime.MemStats deltas;
+	// §4.5: pooled allocation is what lets the versioned path pay off).
+	AllocsPerOp  float64       // heap allocations per completed worker op
+	BytesPerOp   float64       // heap bytes allocated per completed worker op
+	NumGC        uint64        // GC cycles during the window (summed over trials)
+	GCPauseTotal time.Duration // total stop-the-world pause (summed over trials)
 	Series       []Sample
 }
 
@@ -104,6 +110,10 @@ func Run(cfg Config) Result {
 		agg.Versioned += r.Versioned
 		agg.ModeSwitches += r.ModeSwitches
 		agg.CPUSeconds += r.CPUSeconds
+		agg.AllocsPerOp += r.AllocsPerOp
+		agg.BytesPerOp += r.BytesPerOp
+		agg.NumGC += r.NumGC
+		agg.GCPauseTotal += r.GCPauseTotal
 		if r.MaxHeapKB > agg.MaxHeapKB {
 			agg.MaxHeapKB = r.MaxHeapKB
 		}
@@ -115,6 +125,8 @@ func Run(cfg Config) Result {
 	agg.OpsPerSec /= n
 	agg.RQsPerSec /= n
 	agg.CPUSeconds /= n
+	agg.AllocsPerOp /= n
+	agg.BytesPerOp /= n
 	if agg.CPUSeconds > 0 {
 		// Ops per CPU-second: the Fig 10 "throughput per joule" proxy
 		// (joules ∝ CPU-seconds at fixed package power).
@@ -159,6 +171,11 @@ func runTrial(cfg Config, seed uint64) Result {
 		phaseIdx atomic.Uint64
 		counters = make([]workerCounters, cfg.Threads)
 		wg       sync.WaitGroup
+		// regWG/startGate fence the measurement window: workers register
+		// (allocating their Thread/EBR state) before the MemStats
+		// baseline is read, and start operating only after it.
+		regWG     sync.WaitGroup
+		startGate = make(chan struct{})
 	)
 	dist := newDist(cfg)
 	rqSpan := rqSpan(cfg)
@@ -171,6 +188,7 @@ func runTrial(cfg Config, seed uint64) Result {
 	}
 
 	// Workers.
+	regWG.Add(cfg.Threads + maxUpdaters)
 	for w := 0; w < cfg.Threads; w++ {
 		wg.Add(1)
 		go func(id int) {
@@ -179,6 +197,8 @@ func runTrial(cfg Config, seed uint64) Result {
 			defer th.Unregister()
 			r := workload.NewRng(seed ^ uint64(id+1)*0x9e3779b97f4a7c15)
 			ctr := &counters[id]
+			regWG.Done()
+			<-startGate
 			for !stop.Load() {
 				mix := cfg.Mix
 				if len(cfg.Phases) > 0 {
@@ -233,6 +253,8 @@ func runTrial(cfg Config, seed uint64) Result {
 			th := sys.Register()
 			defer th.Unregister()
 			r := workload.NewRng(seed ^ uint64(id+1000)*0xbf58476d1ce4e5b9)
+			regWG.Done()
+			<-startGate
 			for !stop.Load() {
 				if int64(id) >= activeUpd.Load() {
 					time.Sleep(time.Millisecond)
@@ -251,7 +273,6 @@ func runTrial(cfg Config, seed uint64) Result {
 
 	// Measurement loop: phase switching, sampling, heap watermark.
 	res := Result{Config: cfg}
-	start := time.Now()
 	sampleEvery := cfg.SampleEvery
 	tick := 10 * time.Millisecond
 	if sampleEvery != 0 && sampleEvery < tick {
@@ -267,6 +288,18 @@ func runTrial(cfg Config, seed uint64) Result {
 			totalDur += time.Duration(p.Seconds * float64(time.Second))
 		}
 	}
+	if sampleEvery != 0 {
+		// Pre-size so time-series appends don't count as measured allocs.
+		res.Series = make([]Sample, 0, int(totalDur/sampleEvery)+4)
+	}
+	// Baseline the GC stats only once every thread has registered, and
+	// release the workers only after: one-time setup allocations
+	// (goroutines, TM registration) stay out of the window.
+	regWG.Wait()
+	var msStart runtime.MemStats
+	runtime.ReadMemStats(&msStart)
+	start := time.Now()
+	close(startGate)
 	for {
 		time.Sleep(tick)
 		elapsed := time.Since(start)
@@ -300,6 +333,15 @@ func runTrial(cfg Config, seed uint64) Result {
 	stop.Store(true)
 	wg.Wait()
 
+	// GC-pressure deltas over the window. Updater allocations land in the
+	// same process-wide pool, so allocs/op is a harness-level pressure
+	// metric normalized by completed worker ops, not a per-path profile.
+	runtime.ReadMemStats(&ms)
+	allocs := ms.Mallocs - msStart.Mallocs
+	bytes := ms.TotalAlloc - msStart.TotalAlloc
+	res.NumGC = uint64(ms.NumGC - msStart.NumGC)
+	res.GCPauseTotal = time.Duration(ms.PauseTotalNs - msStart.PauseTotalNs)
+
 	elapsed := time.Since(start).Seconds()
 	ops := sumOps(counters)
 	var rqs, starved uint64
@@ -310,6 +352,10 @@ func runTrial(cfg Config, seed uint64) Result {
 	res.OpsPerSec = float64(ops) / elapsed
 	res.RQsPerSec = float64(rqs) / elapsed
 	res.Starved = starved
+	if ops > 0 {
+		res.AllocsPerOp = float64(allocs) / float64(ops)
+		res.BytesPerOp = float64(bytes) / float64(ops)
+	}
 	st := sys.Stats()
 	res.Commits = st.Commits - statsBefore.Commits
 	res.Aborts = st.Aborts - statsBefore.Aborts
@@ -366,7 +412,8 @@ func rqSpan(cfg Config) uint64 {
 
 // String renders a result row.
 func (r Result) String() string {
-	return fmt.Sprintf("%-24s %-8s thr=%-3d upd=%-2d ops/s=%-12.0f rq/s=%-8.2f commits=%-9d aborts=%-9d starved=%-6d heapKB=%-8d ops/cpu-s=%-12.0f",
+	return fmt.Sprintf("%-24s %-8s thr=%-3d upd=%-2d ops/s=%-12.0f rq/s=%-8.2f commits=%-9d aborts=%-9d starved=%-6d heapKB=%-8d ops/cpu-s=%-12.0f allocs/op=%-8.2f B/op=%-8.1f gc=%-4d gcPause=%s",
 		r.Config.TM, r.Config.DS, r.Config.Threads, r.Config.Updaters,
-		r.OpsPerSec, r.RQsPerSec, r.Commits, r.Aborts, r.Starved, r.MaxHeapKB, r.OpsPerCPUSec)
+		r.OpsPerSec, r.RQsPerSec, r.Commits, r.Aborts, r.Starved, r.MaxHeapKB, r.OpsPerCPUSec,
+		r.AllocsPerOp, r.BytesPerOp, r.NumGC, r.GCPauseTotal)
 }

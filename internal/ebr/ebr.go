@@ -25,9 +25,47 @@ const idle = ^uint64(0) // announcement value while unpinned
 // to advance the global epoch and collect.
 const advanceEvery = 64
 
+// Reclaimable is an object that can be retired without allocating: it
+// carries its own intrusive retire link (embed RetireLink) and knows how to
+// reclaim itself, typically by returning to a pool. Reclaim reports whether
+// the object needs ANOTHER grace period before it may be touched again: a
+// two-phase reclaimer unlinks itself from the live structure in its first
+// pass (return true) — late readers may still be traversing the link it cut
+// — and only recycles its memory in its second (return false).
+type Reclaimable interface {
+	SetRetireNext(Reclaimable)
+	RetireNext() Reclaimable
+	Reclaim() (again bool)
+}
+
+// RetireLink is the intrusive link Reclaimable implementations embed. The
+// same link may double as a pool free-list link: an object is never in a
+// limbo list and a free list at once.
+type RetireLink struct{ next Reclaimable }
+
+// SetRetireNext implements Reclaimable.
+func (l *RetireLink) SetRetireNext(n Reclaimable) { l.next = n }
+
+// RetireNext implements Reclaimable.
+func (l *RetireLink) RetireNext() Reclaimable { return l.next }
+
 type limboBucket struct {
-	epoch uint64
-	fns   []func()
+	epoch      uint64
+	fns        []func()
+	head, tail Reclaimable // intrusive closure-free retire list
+}
+
+func (b *limboBucket) empty() bool { return len(b.fns) == 0 && b.head == nil }
+
+// appendNode links n at the bucket's tail.
+func (b *limboBucket) appendNode(n Reclaimable) {
+	n.SetRetireNext(nil)
+	if b.tail == nil {
+		b.head = n
+	} else {
+		b.tail.SetRetireNext(n)
+	}
+	b.tail = n
 }
 
 // Handle is a per-thread EBR participant. Not safe for concurrent use.
@@ -95,21 +133,85 @@ func (h *Handle) Pinned() bool { return h.pinDepth > 0 }
 // Retire schedules fn to run once no pinned thread can still hold a
 // reference acquired before the retire.
 func (h *Handle) Retire(fn func()) {
+	b := h.bucket()
+	b.fns = append(b.fns, fn)
+	h.restamp(b)
+	h.maybeAdvance()
+}
+
+// RetireNode schedules n for reclamation after the grace period without
+// allocating: n is threaded onto the handle's limbo through its intrusive
+// RetireLink. If n.Reclaim later returns true, n is granted one further
+// grace period and reclaimed again.
+func (h *Handle) RetireNode(n Reclaimable) {
+	b := h.bucket()
+	b.appendNode(n)
+	h.restamp(b)
+	h.maybeAdvance()
+}
+
+// bucket returns the current epoch's limbo bucket. A stale bucket is
+// flushed only once its stamp is a full grace period old — a restamped
+// bucket (see restamp) can be revisited at stamp+1, in which case its
+// contents simply wait for the next cycle. The stamp is raise-only: a
+// reentrant flush (via a re-retire's maybeAdvance) may already have
+// stamped a newer epoch than the one loaded here.
+func (h *Handle) bucket() *limboBucket {
 	e := h.d.epoch.Load()
 	b := &h.limbo[e%3]
-	if b.epoch != e {
-		// The bucket cycles every 3 epochs; its previous contents are
-		// at least 3 epochs old, hence past their grace period.
-		runAll(b.fns)
-		b.fns = b.fns[:0]
+	if b.epoch != e && e >= b.epoch+2 {
+		h.flush(b)
+		if e > b.epoch {
+			b.epoch = e
+		}
+	}
+	return b
+}
+
+// restamp re-reads the global epoch after an append and raises the
+// bucket's stamp if it moved. Safety needs the filed epoch to be at least
+// the epoch current when the object became unreachable: the epoch can
+// advance between bucket()'s load and the append — concurrently by
+// another thread, or reentrantly by flush() when a two-phase re-retire
+// trips maybeAdvance — and a stale stamp would shorten the grace period,
+// recycling the object while a reader pinned at the newer epoch still
+// traverses it. Raising the stamp only delays the bucket's other
+// contents, which is safe.
+func (h *Handle) restamp(b *limboBucket) {
+	if e := h.d.epoch.Load(); e > b.epoch {
 		b.epoch = e
 	}
-	b.fns = append(b.fns, fn)
+}
+
+func (h *Handle) maybeAdvance() {
 	h.retires++
 	if h.retires >= advanceEvery {
 		h.retires = 0
 		h.d.Advance()
 		h.Collect()
+	}
+}
+
+// flush reclaims everything in b. Contents are detached first so that
+// reentrant retires (a Reclaim needing a second grace period re-retires
+// into the current bucket, which may be b itself) never land in the list
+// being walked.
+func (h *Handle) flush(b *limboBucket) {
+	fns := b.fns
+	b.fns = nil
+	n := b.head
+	b.head, b.tail = nil, nil
+	runAll(fns)
+	if b.fns == nil {
+		b.fns = fns[:0] // keep the backing array unless a retire re-grew it
+	}
+	for n != nil {
+		next := n.RetireNext()
+		n.SetRetireNext(nil)
+		if n.Reclaim() {
+			h.RetireNode(n)
+		}
+		n = next
 	}
 }
 
@@ -119,9 +221,8 @@ func (h *Handle) Collect() {
 	e := h.d.epoch.Load()
 	for i := range h.limbo {
 		b := &h.limbo[i]
-		if len(b.fns) > 0 && e >= b.epoch+2 {
-			runAll(b.fns)
-			b.fns = b.fns[:0]
+		if !b.empty() && e >= b.epoch+2 {
+			h.flush(b)
 		}
 	}
 }
@@ -143,7 +244,7 @@ func (h *Handle) Unregister() {
 		}
 	}
 	for i := range h.limbo {
-		if len(h.limbo[i].fns) > 0 {
+		if !h.limbo[i].empty() {
 			d.orphans = append(d.orphans, h.limbo[i])
 			h.limbo[i] = limboBucket{}
 		}
@@ -173,12 +274,25 @@ func (d *Domain) Advance() bool {
 
 func (d *Domain) reclaimOrphansLocked(now uint64) {
 	kept := d.orphans[:0]
+	var requeue limboBucket // nodes that asked for another grace period
+	requeue.epoch = now
 	for _, b := range d.orphans {
 		if now >= b.epoch+2 {
 			runAll(b.fns)
+			for n := b.head; n != nil; {
+				next := n.RetireNext()
+				n.SetRetireNext(nil)
+				if n.Reclaim() {
+					requeue.appendNode(n)
+				}
+				n = next
+			}
 		} else {
 			kept = append(kept, b)
 		}
+	}
+	if requeue.head != nil {
+		kept = append(kept, requeue)
 	}
 	d.orphans = kept
 }
@@ -191,14 +305,28 @@ func (d *Domain) Drain() {
 	defer d.mu.Unlock()
 	for _, h := range d.handles {
 		for i := range h.limbo {
-			runAll(h.limbo[i].fns)
-			h.limbo[i].fns = nil
+			drainBucket(&h.limbo[i])
 		}
 	}
-	for _, b := range d.orphans {
-		runAll(b.fns)
+	for i := range d.orphans {
+		drainBucket(&d.orphans[i])
 	}
 	d.orphans = nil
+}
+
+// drainBucket runs everything in b, iterating multi-grace-period reclaims
+// to completion (quiescence makes further grace periods vacuous).
+func drainBucket(b *limboBucket) {
+	runAll(b.fns)
+	b.fns = nil
+	for n := b.head; n != nil; {
+		next := n.RetireNext()
+		n.SetRetireNext(nil)
+		for n.Reclaim() {
+		}
+		n = next
+	}
+	b.head, b.tail = nil, nil
 }
 
 func runAll(fns []func()) {

@@ -121,6 +121,132 @@ func TestDrainRunsEverything(t *testing.T) {
 	}
 }
 
+// reclaimProbe is a closure-free retiree: each Reclaim consumes one
+// requested grace period; the last one records the reclamation.
+type reclaimProbe struct {
+	RetireLink
+	graces   int // additional grace periods to request
+	reclaims int
+	done     bool
+}
+
+func (p *reclaimProbe) Reclaim() bool {
+	p.reclaims++
+	if p.graces > 0 {
+		p.graces--
+		return true
+	}
+	p.done = true
+	return false
+}
+
+func TestRetireNodeRunsAfterGracePeriod(t *testing.T) {
+	d := NewDomain()
+	h := d.Register()
+	p := &reclaimProbe{}
+	h.RetireNode(p)
+	if p.done {
+		t.Fatal("node reclaimed immediately")
+	}
+	d.Advance()
+	h.Collect()
+	if p.done {
+		t.Fatal("node reclaimed after a single advance")
+	}
+	d.Advance()
+	h.Collect()
+	if !p.done {
+		t.Fatal("node not reclaimed after its grace period")
+	}
+}
+
+func TestRetireNodeSecondGracePeriod(t *testing.T) {
+	d := NewDomain()
+	h := d.Register()
+	p := &reclaimProbe{graces: 1}
+	h.RetireNode(p)
+	d.Advance()
+	d.Advance()
+	h.Collect()
+	if p.reclaims != 1 || p.done {
+		t.Fatalf("after one grace period: reclaims=%d done=%v, want 1/false (re-retired)", p.reclaims, p.done)
+	}
+	// The re-retire put it in the current epoch's bucket: two more
+	// advances complete it.
+	d.Advance()
+	d.Advance()
+	h.Collect()
+	if !p.done {
+		t.Fatal("re-retired node never finished reclamation")
+	}
+}
+
+func TestPinBlocksRetireNode(t *testing.T) {
+	d := NewDomain()
+	reader := d.Register()
+	writer := d.Register()
+	reader.Pin()
+	p := &reclaimProbe{}
+	writer.RetireNode(p)
+	for i := 0; i < 100; i++ {
+		d.Advance()
+		writer.Collect()
+	}
+	if p.done {
+		t.Fatal("node reclaimed while a pre-retire reader was pinned")
+	}
+	reader.Unpin()
+	d.Advance()
+	d.Advance()
+	writer.Collect()
+	if !p.done {
+		t.Fatal("node never reclaimed after reader unpinned")
+	}
+}
+
+func TestRetireNodeOrderAndBatches(t *testing.T) {
+	d := NewDomain()
+	h := d.Register()
+	// More nodes than advanceEvery, interleaved with closures, across
+	// several epochs; everything must reclaim exactly once by Drain.
+	const n = 3*advanceEvery + 7
+	probes := make([]*reclaimProbe, n)
+	closures := 0
+	for i := range probes {
+		probes[i] = &reclaimProbe{}
+		h.RetireNode(probes[i])
+		if i%3 == 0 {
+			h.Retire(func() { closures++ })
+		}
+	}
+	d.Drain()
+	for i, p := range probes {
+		if !p.done || p.reclaims != 1 {
+			t.Fatalf("probe %d: done=%v reclaims=%d, want true/1", i, p.done, p.reclaims)
+		}
+	}
+	if want := (n + 2) / 3; closures != want {
+		t.Fatalf("closures ran %d/%d times", closures, want)
+	}
+}
+
+func TestUnregisterAdoptsNodes(t *testing.T) {
+	d := NewDomain()
+	h := d.Register()
+	p := &reclaimProbe{graces: 1}
+	h.RetireNode(p)
+	h.Unregister()
+	for i := 0; i < 6; i++ {
+		d.Advance()
+	}
+	if !p.done {
+		t.Fatalf("orphaned node not reclaimed (reclaims=%d)", p.reclaims)
+	}
+	if p.reclaims != 2 {
+		t.Fatalf("orphaned two-phase node reclaimed %d times, want 2", p.reclaims)
+	}
+}
+
 func TestConcurrentRetireStress(t *testing.T) {
 	d := NewDomain()
 	const goroutines = 4

@@ -192,29 +192,27 @@ func (s *System) maybeUnversionBucket(idx, now, threshold uint64) {
 	s.blooms.At(idx).Reset()
 	s.dirty[idx/64].And(^(uint64(1) << (idx % 64)))
 	l.Release(pre.Version())
-	// Retire the detached chain: cut pointers after the grace period so
-	// the GC can reclaim nodes even if some survivor holds one head.
-	s.bgEBRRetire(func() {
-		for n := head; n != nil; {
-			next := n.next.Load()
-			for vn := n.vlist.head.Load(); vn != nil; {
-				older := vn.older.Load()
-				vn.older.Store(nil)
-				vn = older
-			}
-			n.vlist.head.Store(nil)
-			n.next.Store(nil)
-			n = next
-		}
-	})
-	s.bgCtr.Unversionings.Add(1)
-}
-
-// bgEBRRetire retires fn on the background thread's reclamation handle.
-func (s *System) bgEBRRetire(fn func()) {
+	// Retire the detached chain closure-free, returning the nodes to the
+	// pools after the grace period. Only the vltNodes and each list's
+	// HEAD version are still live here: every non-head version node was
+	// already retired by the commit that superseded it (and a rolled-back
+	// node by its abort), so retiring it again would double-free. The
+	// in-limbo nodes finish their own cut-then-free reclamation
+	// independently; their CAS cuts fail harmlessly once the successor
+	// has been recycled.
 	if s.bgHandle == nil {
 		s.bgHandle = s.ebr.Register()
 	}
-	s.bgHandle.Retire(fn)
+	for n := head; n != nil; {
+		next := n.next.Load() // RetireNode may collect n this pass's epoch+2 later; read next first
+		if vn := n.vlist.head.Load(); vn != nil {
+			vn.cut = nil
+			vn.state = vnRetireFree
+			s.bgHandle.RetireNode(vn)
+		}
+		s.bgHandle.RetireNode(n)
+		n = next
+	}
 	runtime.Gosched()
+	s.bgCtr.Unversionings.Add(1)
 }

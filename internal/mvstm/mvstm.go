@@ -166,6 +166,12 @@ type System struct {
 	reg   stm.Registry
 	tids  atomic.Uint64
 
+	// Node pools (§4.5): versioned writes and versionAddr draw version
+	// and VLT nodes from per-thread caches over these sharded free
+	// lists; ebr reclaims feed them back after the grace period.
+	vnPool  pool[versionNode, *versionNode]
+	vltPool pool[vltNode, *vltNode]
+
 	bgCtr     stm.Counters
 	bgSlotBuf []*slot
 	bgHandle  *ebr.Handle
@@ -199,6 +205,8 @@ func NewPinned(cfg Config, mode Mode) *System {
 func newSystem(cfg Config) *System {
 	cfg.fill()
 	s := &System{cfg: cfg, ebr: ebr.NewDomain()}
+	s.vnPool.newNode = func() *versionNode { return &versionNode{pool: &s.vnPool} }
+	s.vltPool.newNode = func() *vltNode { return &vltNode{pool: &s.vltPool} }
 	s.clock.Set(1)
 	s.locks = vlock.NewTable(cfg.LockTableSize)
 	n := s.locks.Len()
@@ -245,6 +253,8 @@ func (s *System) RegisterMV() *Thread { return s.register() }
 func (s *System) register() *Thread {
 	tid := int(s.tids.Add(1)-1)%(1<<14-1) + 1
 	t := &Thread{sys: s, tid: tid, ebr: s.ebr.Register(), slot: s.slots.add()}
+	t.vnCache.init(&s.vnPool, tid)
+	t.vltCache.init(&s.vltPool, tid)
 	t.txn.t = t
 	s.reg.Add(&t.ctr)
 	return t
@@ -267,16 +277,28 @@ func (s *System) getVList(idx uint64, w *stm.Word) *versionList {
 // versionAddr associates a fresh version list with w, whose initial version
 // carries (ts, data) — the last consistent value of the address (paper
 // §3.1.1). The caller must hold bucket idx's lock (as updater or flagged).
+// Nodes come from the shared pools; the transactional hot path uses
+// Thread.versionAddr, which draws from the per-thread caches instead.
 func (s *System) versionAddr(idx, hash uint64, w *stm.Word, data, ts uint64) *versionList {
-	vl := &versionList{}
-	vn := &versionNode{}
+	return s.installVersion(idx, hash, w, s.vltPool.get(0), s.vnPool.get(0), data, ts)
+}
+
+// versionAddr is the allocation-free hot-path variant of
+// System.versionAddr.
+func (t *Thread) versionAddr(idx, hash uint64, w *stm.Word, data, ts uint64) *versionList {
+	return t.sys.installVersion(idx, hash, w, t.vltCache.get(), t.vnCache.get(), data, ts)
+}
+
+func (s *System) installVersion(idx, hash uint64, w *stm.Word, n *vltNode, vn *versionNode, data, ts uint64) *versionList {
 	vn.meta.Store(makeMeta(ts, false))
 	vn.data.Store(data)
-	vl.head.Store(vn)
-	s.vlt[idx].insert(w, vl)
+	vn.older.Store(nil)
+	n.addr = w
+	n.vlist.head.Store(vn)
+	s.vlt[idx].insert(n)
 	s.blooms.At(idx).TryAdd(hash)
 	s.markDirty(idx)
-	return vl
+	return &n.vlist
 }
 
 // bloomContains consults bucket idx's filter (always "maybe" under the
@@ -292,14 +314,16 @@ func (s *System) bloomContains(idx, hash uint64) bool {
 // the last L per-pass averages of announced commit-timestamp deltas; the
 // threshold is the mean of the top P fraction (descending order).
 type deltaRing struct {
-	buf  []uint64
-	n    int // filled entries
-	pos  int
-	pLen int
+	buf     []uint64
+	scratch []uint64 // sort buffer reused across threshold() calls
+	n       int      // filled entries
+	pos     int
+	pLen    int
 }
 
 func (r *deltaRing) init(l int, p float64) {
 	r.buf = make([]uint64, l)
+	r.scratch = make([]uint64, l)
 	r.pLen = int(float64(l)*p + 0.5)
 	if r.pLen < 1 {
 		r.pLen = 1
@@ -315,12 +339,13 @@ func (r *deltaRing) push(avg uint64) {
 }
 
 // threshold returns the current unversioning threshold; ok=false until the
-// ring has collected L averages.
+// ring has collected L averages. The background thread calls this up to
+// every pass, so the sort runs in the preallocated scratch buffer.
 func (r *deltaRing) threshold() (uint64, bool) {
 	if r.n < len(r.buf) {
 		return 0, false
 	}
-	sorted := make([]uint64, len(r.buf))
+	sorted := r.scratch
 	copy(sorted, r.buf)
 	// Descending insertion sort (L is tiny).
 	for i := 1; i < len(sorted); i++ {

@@ -1,0 +1,156 @@
+package mvstm
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ebr"
+)
+
+// Typed, EBR-integrated node pools (paper §4.5: "pooled allocation [is a]
+// prerequisite for the versioned path to pay off"). Version-list and VLT
+// nodes are recycled instead of garbage-collected: a retired node returns
+// to its pool from ebr's Reclaim after the grace period(s), and versioned
+// writes draw replacements from a per-thread cache that refills in batches
+// from sharded global free lists — steady-state versioned transactions
+// allocate nothing. Nodes double-use their intrusive ebr.RetireLink as the
+// free-list link; an object is never in limbo and in a pool at once.
+
+const (
+	// poolShardCount shards the global free lists to keep Reclaim-side
+	// pushes (which run on whatever thread collects the limbo) off each
+	// other's locks. Power of two.
+	poolShardCount = 8
+	// poolRefillBatch is how many nodes a thread cache pulls per refill;
+	// it bounds both refill lock traffic and per-thread hoarding.
+	poolRefillBatch = 32
+)
+
+type poolShard struct {
+	mu sync.Mutex
+	// head is an intrusive stack of free nodes linked via RetireLink;
+	// n mirrors its length atomically so empty shards are skipped
+	// without taking the lock.
+	head ebr.Reclaimable
+	n    atomic.Int32
+	// Trailing pad sizes the shard to two cache lines so adjacent
+	// shards never share one (mid-struct padding would still let shard
+	// k's hot fields sit on shard k+1's line).
+	_ [100]byte
+}
+
+// pool is a sharded free list of *T. PT is *T constrained to Reclaimable so
+// the pool can reuse the intrusive retire link.
+type pool[T any, PT interface {
+	*T
+	ebr.Reclaimable
+}] struct {
+	shards [poolShardCount]poolShard
+	putIdx atomic.Uint32
+	// newNode allocates a fresh node on pool miss, wiring any back
+	// pointers (e.g. the node's owning pool) the zero value lacks.
+	newNode func() PT
+}
+
+// put pushes a reclaimed node. Called from Reclaim on arbitrary threads, so
+// the shard rotates via a counter rather than a thread id.
+func (p *pool[T, PT]) put(n PT) {
+	s := &p.shards[p.putIdx.Add(1)&(poolShardCount-1)]
+	s.mu.Lock()
+	n.SetRetireNext(s.head)
+	s.head = n
+	s.n.Add(1)
+	s.mu.Unlock()
+}
+
+// get pops one node, preferring shard `start`, falling back to a heap
+// allocation when every shard is empty.
+func (p *pool[T, PT]) get(start int) PT {
+	for i := 0; i < poolShardCount; i++ {
+		s := &p.shards[(start+i)&(poolShardCount-1)]
+		if s.n.Load() == 0 { // cheap peek; the lock re-checks
+			continue
+		}
+		s.mu.Lock()
+		if s.head != nil {
+			n := s.head.(PT)
+			s.head = n.RetireNext()
+			s.n.Add(-1)
+			s.mu.Unlock()
+			n.SetRetireNext(nil)
+			return n
+		}
+		s.mu.Unlock()
+	}
+	return p.newNode()
+}
+
+// grab detaches up to max nodes as a chain for a thread-cache refill.
+func (p *pool[T, PT]) grab(start, max int) (head ebr.Reclaimable, n int) {
+	for i := 0; i < poolShardCount && n < max; i++ {
+		s := &p.shards[(start+i)&(poolShardCount-1)]
+		if s.n.Load() == 0 {
+			continue
+		}
+		s.mu.Lock()
+		for s.head != nil && n < max {
+			nd := s.head
+			s.head = nd.RetireNext()
+			s.n.Add(-1)
+			nd.SetRetireNext(head)
+			head = nd
+			n++
+		}
+		s.mu.Unlock()
+	}
+	return head, n
+}
+
+// count sums the sharded free lists (test hook; racy under concurrency).
+func (p *pool[T, PT]) count() int {
+	n := 0
+	for i := range p.shards {
+		n += int(p.shards[i].n.Load())
+	}
+	return n
+}
+
+// poolCache is a thread-private stack of free nodes. Not safe for
+// concurrent use; each Thread owns one per node type.
+type poolCache[T any, PT interface {
+	*T
+	ebr.Reclaimable
+}] struct {
+	p     *pool[T, PT]
+	shard int // preferred refill shard (derived from the thread id)
+	head  ebr.Reclaimable
+}
+
+func (c *poolCache[T, PT]) init(p *pool[T, PT], shard int) {
+	c.p = p
+	c.shard = shard & (poolShardCount - 1)
+}
+
+// get pops a node, refilling from the shared pool in batches.
+func (c *poolCache[T, PT]) get() PT {
+	if c.head == nil {
+		c.head, _ = c.p.grab(c.shard, poolRefillBatch)
+		if c.head == nil {
+			return c.p.newNode()
+		}
+	}
+	n := c.head.(PT)
+	c.head = n.RetireNext()
+	n.SetRetireNext(nil)
+	return n
+}
+
+// drain returns the cached nodes to the shared pool (thread unregister).
+func (c *poolCache[T, PT]) drain() {
+	for c.head != nil {
+		n := c.head.(PT)
+		c.head = n.RetireNext()
+		n.SetRetireNext(nil)
+		c.p.put(n)
+	}
+}

@@ -22,6 +22,11 @@ type Thread struct {
 	smallThreshold uint64 // reads; 0 until sampled after a CAS attempt
 	samplePending  bool
 
+	// Pool caches (§4.5): versioned writes and versionAddr draw nodes
+	// here instead of the heap.
+	vnCache  poolCache[versionNode, *versionNode]
+	vltCache poolCache[vltNode, *vltNode]
+
 	txn txn
 }
 
@@ -48,6 +53,10 @@ type txn struct {
 	locked  []*vlock.Lock
 	vwrites []*versionNode
 	vlists  []*versionList
+	// retires buffers superseded version heads for closure-free eventual
+	// frees: flushed to ebr on commit, dropped (revoked) on abort, when
+	// the superseded node turns out to still be the list head.
+	retires []*versionNode
 }
 
 // Atomic implements stm.Thread: an unversioned update transaction.
@@ -68,6 +77,8 @@ func (t *Thread) Unregister() {
 	t.slot.dead.Store(true)
 	t.slot.sticky.Store(false)
 	t.ebr.Unregister()
+	t.vnCache.drain()
+	t.vltCache.drain()
 }
 
 func (t *Thread) run(fn func(stm.Txn), readOnly, si bool) bool {
@@ -91,6 +102,13 @@ func (t *Thread) run(fn func(stm.Txn), readOnly, si bool) bool {
 		case stm.Committed:
 			t.slot.localModeCounter.Store(idleCounter)
 			tx.RunCommit(t.ebr.Retire)
+			// Closure-free eventual frees: the versions this commit
+			// superseded retire now, on the intrusive path.
+			for i, vn := range tx.retires {
+				t.ebr.RetireNode(vn)
+				tx.retires[i] = nil
+			}
+			tx.retires = tx.retires[:0]
 			t.ctr.Commits.Add(1)
 			if readOnly {
 				t.ctr.ReadOnlyCommits.Add(1)
@@ -163,6 +181,7 @@ func (tx *txn) begin(readOnly, versioned, si bool) {
 	tx.locked = tx.locked[:0]
 	tx.vwrites = tx.vwrites[:0]
 	tx.vlists = tx.vlists[:0]
+	tx.retires = tx.retires[:0]
 
 	// Announce the observed mode counter and transaction kind for the
 	// background thread's drain scans (Listing 1 beginTxn).
@@ -288,7 +307,7 @@ func (tx *txn) versionThenRead(idx, hash uint64, w *stm.Word) uint64 {
 	if ts == 0 {
 		ts = pre.Version()
 	}
-	sys.versionAddr(idx, hash, w, data, ts)
+	tx.t.versionAddr(idx, hash, w, data, ts)
 	tx.t.ctr.AddrVersioned.Add(1)
 	l.Release(pre.Version())
 	if !(pre.Version() < tx.rClock) {
@@ -421,7 +440,7 @@ func (tx *txn) Write(w *stm.Word, v uint64) {
 		}
 		// The initial version carries the last consistent value —
 		// the value before this transaction's write (§3.1.1).
-		vl = sys.versionAddr(idx, hash, w, old, ts)
+		vl = t.versionAddr(idx, hash, w, old, ts)
 		t.ctr.AddrVersioned.Add(1)
 	}
 	tx.versionedWrite(vl, v)
@@ -430,14 +449,16 @@ func (tx *txn) Write(w *stm.Word, v uint64) {
 
 // versionedWrite updates w's version list under the held lock: rewrite this
 // transaction's own TBD head, or push a new TBD version at the read clock
-// and retire the previous head via an eventual free (Listing 3).
+// and retire the previous head via an eventual free (Listing 3). The new
+// node comes from the thread's pool cache; the eventual free is buffered
+// closure-free in tx.retires.
 func (tx *txn) versionedWrite(vl *versionList, v uint64) {
 	head := vl.head.Load()
 	if head != nil && metaTBD(head.meta.Load()) {
 		head.data.Store(v)
 		return
 	}
-	vn := &versionNode{}
+	vn := tx.t.vnCache.get()
 	vn.meta.Store(makeMeta(tx.rClock, true))
 	vn.data.Store(v)
 	vn.older.Store(head)
@@ -445,10 +466,16 @@ func (tx *txn) versionedWrite(vl *versionList, v uint64) {
 	tx.vwrites = append(tx.vwrites, vn)
 	tx.vlists = append(tx.vlists, vl)
 	if head != nil {
-		// eventualFree(previous version): after commit plus a grace
-		// period no reader can need it — any reader whose snapshot
-		// predates our commit was pinned before the retire.
-		tx.Free(func() { vn.older.Store(nil) })
+		// eventualFree(previous version): if this transaction commits,
+		// head's reclaim first severs vn.older (after one grace
+		// period) and then recycles head (after a second — see the
+		// vnRetire states). Writing cut/state here is safe even if we
+		// later abort and drop the retire: head stays the list head
+		// and the next superseding writer overwrites both fields under
+		// the same lock.
+		head.cut = vn
+		head.state = vnRetireCut
+		tx.retires = append(tx.retires, head)
 	}
 }
 
@@ -536,16 +563,26 @@ func (t *Thread) noteCommitSize(tx *txn) {
 // write locks at a freshly incremented clock.
 func (tx *txn) abortCleanup() {
 	t := tx.t
-	// Versioned-write rollback, under the still-held locks.
+	// Versioned-write rollback, under the still-held locks. The unlinked
+	// node is unreachable for new readers, so a single grace period (for
+	// traversals that already hold it) suffices before it is recycled.
 	for i := len(tx.vwrites) - 1; i >= 0; i-- {
 		vn := tx.vwrites[i]
 		vl := tx.vlists[i]
 		vn.meta.Store(makeMeta(deletedTs, false))
 		vl.head.Store(vn.older.Load())
-		t.ebr.Retire(func() { vn.older.Store(nil) })
+		vn.cut = nil
+		vn.state = vnRetireFree
+		t.ebr.RetireNode(vn)
 	}
 	tx.vwrites = tx.vwrites[:0]
 	tx.vlists = tx.vlists[:0]
+	// Revoke the buffered eventual frees: the nodes this attempt meant to
+	// supersede are list heads again.
+	for i := range tx.retires {
+		tx.retires[i] = nil
+	}
+	tx.retires = tx.retires[:0]
 	// In-place rollback, newest first.
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		tx.undo[i].w.Store(tx.undo[i].old)

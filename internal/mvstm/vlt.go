@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/ebr"
 	"repro/internal/stm"
 )
 
@@ -26,14 +27,59 @@ func makeMeta(ts uint64, tbd bool) uint64 {
 func metaTs(m uint64) uint64 { return m &^ tbdBit }
 func metaTBD(m uint64) bool  { return m&tbdBit != 0 }
 
+// Retire states of a versionNode (closure-free eventual frees, §4.5). A
+// superseded version must stay traversable for late readers: its reclaim
+// first cuts the link its successor holds to it (ending NEW traversals into
+// it) and only after one FURTHER grace period — covering readers that
+// crossed the link just before the cut — recycles the node. Nodes that are
+// already unreachable when retired (abort rollback unlinked them; the
+// unversioning pass detached their whole bucket) skip straight to the free
+// phase.
+const (
+	vnRetireFree uint8 = iota // next reclaim recycles the node
+	vnRetireCut               // next reclaim cuts cut.older, then one more grace period
+)
+
 // versionNode is one entry of a version list (paper Listing 2's VListNode:
 // [olderNode, timestamp, data, tbd]). meta packs timestamp+tbd so readers
 // observe both atomically. Only the list head can be TBD, and only while the
 // writing transaction holds the address lock.
+//
+// The trailing fields drive pooled reclamation and are never touched by
+// readers: cut/state are written under the address lock when the node is
+// scheduled for retirement and read by ebr after the grace period.
 type versionNode struct {
 	older atomic.Pointer[versionNode]
 	meta  atomic.Uint64
 	data  atomic.Uint64
+
+	ebr.RetireLink
+	pool  *pool[versionNode, *versionNode] // nil for hand-built test nodes
+	cut   *versionNode                     // successor whose older link to sever (vnRetireCut)
+	state uint8
+}
+
+// Reclaim implements ebr.Reclaimable; see the vnRetire states.
+func (vn *versionNode) Reclaim() (again bool) {
+	if vn.state == vnRetireCut {
+		if c := vn.cut; c != nil {
+			// CAS, not Store: the successor may itself have been
+			// reclaimed and recycled under a different address by now,
+			// in which case its older field is live again and must not
+			// be clobbered. The CAS can only succeed while the link is
+			// genuinely intact — vn cannot be under any other node
+			// until it is pooled, which is only after this phase.
+			c.older.CompareAndSwap(vn, nil)
+			vn.cut = nil
+		}
+		vn.state = vnRetireFree
+		return true
+	}
+	vn.older.Store(nil)
+	if vn.pool != nil {
+		vn.pool.put(vn)
+	}
+	return false
 }
 
 // versionList is a newest-first list of committed (plus at most one TBD)
@@ -77,11 +123,27 @@ func (vl *versionList) traverse(rClock uint64) (data uint64, ok bool) {
 }
 
 // vltNode is one entry of a Version List Table bucket (paper Figure 2):
-// the address the list tracks, the list head, and the next bucket entry.
+// the address the list tracks, the list (embedded — one fewer allocation
+// per versioned address), and the next bucket entry.
 type vltNode struct {
 	addr  *stm.Word
-	vlist *versionList
+	vlist versionList
 	next  atomic.Pointer[vltNode]
+
+	ebr.RetireLink
+	pool *pool[vltNode, *vltNode]
+}
+
+// Reclaim implements ebr.Reclaimable: a vltNode is only retired once its
+// bucket chain is detached, so a single grace period suffices.
+func (n *vltNode) Reclaim() (again bool) {
+	n.addr = nil
+	n.vlist.head.Store(nil)
+	n.next.Store(nil)
+	if n.pool != nil {
+		n.pool.put(n)
+	}
+	return false
 }
 
 // vltBucket is a linked list of vltNodes. Mutations happen while holding the
@@ -97,15 +159,15 @@ type vltBucket struct {
 func (b *vltBucket) lookup(addr *stm.Word) *versionList {
 	for n := b.head.Load(); n != nil; n = n.next.Load() {
 		if n.addr == addr {
-			return n.vlist
+			return &n.vlist
 		}
 	}
 	return nil
 }
 
-// insert prepends a new entry for addr. Caller holds the bucket's lock.
-func (b *vltBucket) insert(addr *stm.Word, vl *versionList) {
-	n := &vltNode{addr: addr, vlist: vl}
+// insert prepends the (fully initialized) entry n. Caller holds the
+// bucket's lock.
+func (b *vltBucket) insert(n *vltNode) {
 	n.next.Store(b.head.Load())
 	b.head.Store(n)
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/arena"
 	"repro/internal/stm"
@@ -82,12 +83,27 @@ func TestReclamationRaceWithEBR(t *testing.T) {
 			// first, then fixed inside the transaction. A reader
 			// holding the stale index during the grace period would
 			// see the odd stamp only if reclamation were unsafe.
+			//
+			// The iteration count is bounded by a deadline: on a
+			// single-P runtime the mutator is starved, not
+			// livelocked. Deferred-clock TMs (DCTL, Multiverse)
+			// guarantee each update transaction about one
+			// self-conflict abort (commit does not advance the
+			// clock, so the released lock version equals the next
+			// attempt's read clock), and every abort's
+			// stm.Backoff yields the sole P to the reader, which
+			// then runs a full scheduler quantum (~10ms) before
+			// preemption. At tens of iterations per second, a
+			// fixed count of 3000 blows the 600s suite timeout;
+			// the race is exercised just as well by however many
+			// iterations fit in the window.
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				th := sys.Register()
 				defer th.Unregister()
-				for i := 0; i < 3000; i++ {
+				deadline := time.Now().Add(2 * time.Second)
+				for i := 0; i < 3000 && time.Now().Before(deadline); i++ {
 					th.Atomic(func(tx stm.Txn) {
 						first := tx.Read(head)
 						if first == 0 {
