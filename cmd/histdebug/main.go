@@ -1,0 +1,93 @@
+// Command histdebug reruns hist-torture rounds (same driver and checker as
+// `stmtorture -workload hist`) and, when a round's history is not
+// linearizable, dumps the operations so the violation can be read by hand:
+// the full history, one key's operations, or per-key projection verdicts.
+//
+// Typical use, starting from a seed printed by stmtorture:
+//
+//	histdebug -tm dctl -ds extbst -profile zipf -seed <seed> -tries 1 -key 13
+//
+// With point-op profiles (e.g. -profile points) the per-key projections
+// pinpoint the offending key directly: by linearizability's locality, a
+// point-op history is linearizable iff every per-key projection is, so a
+// failing global check with all-green projections indicates a checker bug,
+// not a TM bug (this is how the checker's memoization bug was found).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/histcheck"
+)
+
+func main() {
+	tm := flag.String("tm", "multiverse", "TM to drive (bench.NewTM name)")
+	dsName := flag.String("ds", "abtree", "data structure (bench.NewDS name)")
+	profName := flag.String("profile", "mixed", "op profile (histcheck.Profiles name)")
+	threads := flag.Int("threads", 3, "worker threads")
+	ops := flag.Int("ops", 300, "operations per thread per round")
+	seed := flag.Uint64("seed", 1, "base seed; try i uses seed+i")
+	key := flag.Uint64("key", 0, "dump only ops touching this key (0 = all)")
+	tries := flag.Int("tries", 50, "rounds to attempt before giving up")
+	flag.Parse()
+
+	p, ok := histcheck.ProfileByName(*profName)
+	if !ok {
+		fmt.Printf("unknown profile %q\n", *profName)
+		os.Exit(2)
+	}
+	for i := 0; i < *tries; i++ {
+		sys := bench.NewTM(*tm, 1<<16)
+		m := bench.NewDS(*dsName, 4*(*threads)*(*ops))
+		hist := histcheck.Run(sys, m, p, *threads, *ops, *seed+uint64(i))
+		sys.Close()
+		res := histcheck.Check(hist, 0)
+		if res.Ok || res.LimitHit {
+			continue
+		}
+		fmt.Printf("violation on try %d (seed %d): %s\n", i, *seed+uint64(i), res.Reason)
+		for _, op := range hist {
+			touches := *key == 0 || op.Key == *key ||
+				(op.Kind == histcheck.Range && op.Key <= *key && *key <= op.Val) ||
+				op.Kind == histcheck.Size
+			if touches {
+				fmt.Println("  ", op)
+			}
+		}
+		projections(hist)
+		os.Exit(1)
+	}
+	fmt.Println("no violation reproduced")
+}
+
+// projections checks each key's point-op subhistory on its own. Range and
+// size ops span keys and are skipped, so a red projection always implicates
+// its key, while all-green projections point at the cross-key ops — or, if
+// there are none, at the checker itself.
+func projections(hist []histcheck.Op) {
+	keys := map[uint64]bool{}
+	for _, op := range hist {
+		if op.Kind != histcheck.Range && op.Kind != histcheck.Size {
+			keys[op.Key] = true
+		}
+	}
+	for k := range keys {
+		var sub []histcheck.Op
+		for _, op := range hist {
+			if op.Key == k && op.Kind != histcheck.Range && op.Kind != histcheck.Size {
+				sub = append(sub, op)
+			}
+		}
+		r := histcheck.Check(sub, 0)
+		verdict := "ok"
+		if r.LimitHit {
+			verdict = "undecided"
+		} else if !r.Ok {
+			verdict = "VIOLATION: " + r.Reason
+		}
+		fmt.Printf("  key %d projection (%d ops): %s\n", k, len(sub), verdict)
+	}
+}

@@ -1,16 +1,25 @@
-// Command stmtorture hammers a TM with invariant-checking workloads — a
-// long-running correctness harness complementary to the unit tests. Every
-// workload maintains a global invariant that any atomicity or opacity bug
-// breaks within seconds.
+// Command stmtorture hammers a TM with invariant-checking and
+// history-checking workloads — a long-running correctness harness
+// complementary to the unit tests.
 //
 //	stmtorture -tm multiverse -workload all -dur 10s -threads 8
 //
-// Workloads:
+// Invariant workloads maintain a global invariant that any atomicity or
+// opacity bug breaks within seconds:
 //
 //	bank   — random transfers; every audited snapshot must sum to the total
 //	pairs  — (a,b)-tree pair toggling; every range query counts exactly N
 //	ledger — TPC-C payments; warehouse YTD must equal its districts' sum
-//	mixed  — all of the above concurrently on one TM instance
+//
+// The hist workload is a seeded, duration-bounded fuzzer: rounds of mixed
+// operations (zipf-skewed keys, range-heavy, size-heavy, churn — see
+// histcheck.Profiles) are recorded as full concurrent histories and checked
+// for linearizability, validating every individual operation result rather
+// than one aggregate invariant. On failure it shrinks the workload while
+// the violation still reproduces and prints a minimized reproducer
+// command line.
+//
+//	stmtorture -tm multiverse -workload hist -dur 30s -seed 1
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/ds"
 	"repro/internal/ds/abtree"
+	"repro/internal/histcheck"
 	"repro/internal/stm"
 	"repro/internal/tpcc"
 	"repro/internal/workload"
@@ -37,9 +47,13 @@ type report struct {
 
 func main() {
 	tm := flag.String("tm", "multiverse", "TM under torture")
-	wl := flag.String("workload", "all", "bank, pairs, ledger, or all")
+	wl := flag.String("workload", "all", "bank, pairs, ledger, hist, or all")
 	threads := flag.Int("threads", 4, "mutator threads per workload")
-	dur := flag.Duration("dur", 5*time.Second, "torture duration")
+	dur := flag.Duration("dur", 5*time.Second, "torture duration (per workload)")
+	seed := flag.Uint64("seed", 1, "hist: base seed (round r uses a seed derived from it)")
+	dsName := flag.String("ds", "all", "hist: data structure (abtree, avl, extbst, hashmap, or all)")
+	profName := flag.String("profile", "all", "hist: op profile (see histcheck.Profiles, or all)")
+	opsPer := flag.Int("ops", 300, "hist: operations per thread per round")
 	flag.Parse()
 
 	run := func(name string, fn func(sys stm.System, stop *atomic.Bool, rep *report)) bool {
@@ -72,11 +86,123 @@ func main() {
 	if *wl == "ledger" || *wl == "all" {
 		ok = run("ledger", func(sys stm.System, stop *atomic.Bool, rep *report) { ledger(sys, stop, rep, *threads) }) && ok
 	}
+	if *wl == "hist" || *wl == "all" {
+		cfg := histConfig{
+			tm: *tm, ds: *dsName, profile: *profName,
+			threads: *threads, ops: *opsPer, seed: *seed, dur: *dur,
+		}
+		ok = histTorture(cfg) && ok
+	}
 	if !ok {
-		fmt.Println("TORTURE FAILED: invariant violations detected")
+		fmt.Println("TORTURE FAILED: violations detected")
 		os.Exit(1)
 	}
 	fmt.Println("torture passed")
+}
+
+// histConfig parameterizes one history-fuzz session; a failing round is
+// reproduced by feeding the printed values straight back into the flags.
+type histConfig struct {
+	tm, ds, profile string
+	threads, ops    int
+	seed            uint64
+	dur             time.Duration
+}
+
+// roundSeed derives round r's seed so that a reproducer run (-seed <failing
+// seed>, one round) hits round 0 with exactly the failing seed.
+func (c histConfig) roundSeed(r int) uint64 {
+	return c.seed + uint64(r)*0x9e3779b97f4a7c15
+}
+
+// histRound runs one record-and-check round; it reports the checker result
+// and the number of checked ops.
+func histRound(tm, dsName string, p histcheck.Profile, threads, ops int, seed uint64) (histcheck.Result, int) {
+	sys := bench.NewTM(tm, 1<<16)
+	defer sys.Close()
+	m := bench.NewDS(dsName, 4*threads*ops)
+	h := histcheck.RunHistory(sys, m, p, threads, ops, seed)
+	if h.Dropped() != 0 {
+		return histcheck.Result{Reason: fmt.Sprintf("harness bug: %d ops dropped", h.Dropped())}, 0
+	}
+	hist := h.Ops()
+	return histcheck.Check(hist, 0), len(hist)
+}
+
+// histTorture is the seeded, duration-bounded fuzz driver: rounds rotate
+// through the selected data structures and op profiles until the deadline.
+// Any non-linearizable history fails the torture after a best-effort
+// shrink of the reproducing workload.
+func histTorture(c histConfig) bool {
+	structures := bench.DSNames
+	if c.ds != "all" {
+		known := false
+		for _, name := range bench.DSNames {
+			known = known || name == c.ds
+		}
+		if !known {
+			fmt.Printf("unknown data structure %q (want one of %v or all)\n", c.ds, bench.DSNames)
+			return false
+		}
+		structures = []string{c.ds}
+	}
+	profiles := histcheck.Profiles()
+	if c.profile != "all" {
+		p, ok := histcheck.ProfileByName(c.profile)
+		if !ok {
+			fmt.Printf("unknown profile %q\n", c.profile)
+			return false
+		}
+		profiles = []histcheck.Profile{p}
+	}
+	deadline := time.Now().Add(c.dur)
+	rounds, checkedOps, undecided := 0, 0, 0
+	for time.Now().Before(deadline) {
+		dsName := structures[rounds%len(structures)]
+		p := profiles[(rounds/len(structures))%len(profiles)]
+		rs := c.roundSeed(rounds)
+		res, n := histRound(c.tm, dsName, p, c.threads, c.ops, rs)
+		rounds++
+		checkedOps += n
+		if res.LimitHit {
+			undecided++
+			continue
+		}
+		if !res.Ok {
+			fmt.Printf("hist     tm=%-12s VIOLATION round=%d ds=%s profile=%s seed=%d\n  %s\n",
+				c.tm, rounds-1, dsName, p.Name, rs, res.Reason)
+			minimizeHist(c, dsName, p, rs)
+			return false
+		}
+	}
+	fmt.Printf("hist     tm=%-12s rounds=%-6d ops-checked=%-9d undecided=%-3d violations=0\n",
+		c.tm, rounds, checkedOps, undecided)
+	return true
+}
+
+// minimizeHist shrinks a failing round — halving ops per thread, then
+// dropping threads — as long as the violation still reproduces (races make
+// this best-effort: each candidate gets a few attempts), and prints the
+// smallest reproducer found.
+func minimizeHist(c histConfig, dsName string, p histcheck.Profile, seed uint64) {
+	reproduces := func(threads, ops int) bool {
+		for attempt := 0; attempt < 4; attempt++ {
+			res, _ := histRound(c.tm, dsName, p, threads, ops, seed)
+			if !res.Ok && !res.LimitHit {
+				return true
+			}
+		}
+		return false
+	}
+	threads, ops := c.threads, c.ops
+	for ops > 25 && reproduces(threads, ops/2) {
+		ops /= 2
+	}
+	for threads > 2 && reproduces(threads-1, ops) {
+		threads--
+	}
+	fmt.Printf("  minimized reproducer:\n    go run ./cmd/stmtorture -workload hist -tm %s -ds %s -profile %s -threads %d -ops %d -seed %d -dur 1s\n",
+		c.tm, dsName, p.Name, threads, ops, seed)
 }
 
 func bank(sys stm.System, stop *atomic.Bool, rep *report, threads int) {

@@ -1,0 +1,44 @@
+// Package examples holds the runnable demos. This smoke test builds and
+// runs each one with a short workload and a hard deadline, so the examples
+// can no longer rot: they are now compiled and executed by `go test ./...`
+// and CI like everything else.
+package examples
+
+import (
+	"context"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		args []string
+	}{
+		{"quickstart", nil},
+		{"bank", []string{"-dur", "150ms", "-accounts", "256", "-workers", "2"}},
+		{"analytics", []string{"-dur", "150ms", "-keys", "2000", "-writers", "2"}},
+		{"snapshotiso", nil}, // fixed ~1s internal run
+	}
+	for _, c := range cases {
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+			defer cancel()
+			args := append([]string{"run", "./examples/" + c.dir}, c.args...)
+			cmd := exec.CommandContext(ctx, "go", args...)
+			cmd.Dir = ".." // module root
+			out, err := cmd.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s missed its deadline\n%s", c.dir, out)
+			}
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", c.dir, err, out)
+			}
+		})
+	}
+}

@@ -36,6 +36,11 @@ func NewTM(name string, lockTable int) stm.System {
 		return mvstm.NewPinned(mvstm.Config{LockTableSize: lockTable}, mvstm.ModeQ)
 	case "multiverse-u":
 		return mvstm.NewPinned(mvstm.Config{LockTableSize: lockTable}, mvstm.ModeU)
+	case "multiverse-eager":
+		// Minimal versioned-path/mode-switch thresholds: short torture
+		// rounds reach the versioned read path and Mode U machinery that
+		// the paper-default K values only reach under sustained load.
+		return mvstm.New(mvstm.Config{LockTableSize: lockTable, K1: 1, K2: 2, K3: 2, S: 2})
 	case "multiverse-nobloom":
 		return mvstm.New(mvstm.Config{LockTableSize: lockTable, DisableBloom: true})
 	case "multiverse-nounversion":

@@ -86,3 +86,18 @@ func TestSplitChains(t *testing.T) {
 		t.Fatal("reinsert after drain failed")
 	}
 }
+
+// TestDifferential drives the randomized edge-case differential harness
+// (empty/inverted/zero-lo/full ranges vs a reference map) on both TMs.
+func TestDifferential(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		new  func() stm.System
+	}{{"dctl", newDCTL}, {"multiverse", newMV}} {
+		t.Run(mk.name, func(t *testing.T) {
+			sys := mk.new()
+			defer sys.Close()
+			dstest.Differential(t, sys, New(4096), 3000, 256, 101)
+		})
+	}
+}

@@ -85,6 +85,106 @@ func Model(t *testing.T, sys stm.System, m ds.Map, ops int, keyRange uint64, see
 	}
 }
 
+// Differential runs random single-threaded operation sequences on m and a
+// reference map[uint64]uint64 side by side, weighted toward the RangeTx
+// edge cases Model rarely hits: empty ranges over unpopulated key space,
+// inverted bounds (lo > hi, always (0,0)), ranges from lo=0 (key 0 is
+// reserved and never present, so [0,hi] must equal [1,hi]), and full-range
+// queries, which must agree with SizeTx inside the same transaction.
+func Differential(t *testing.T, sys stm.System, m ds.Map, ops int, keyRange uint64, seed uint64) {
+	t.Helper()
+	th := sys.Register()
+	defer th.Unregister()
+	model := make(map[uint64]uint64)
+	modelRange := func(lo, hi uint64) (int, uint64) {
+		count, sum := 0, uint64(0)
+		for k := range model {
+			if k >= lo && k <= hi {
+				count++
+				sum += k
+			}
+		}
+		return count, sum
+	}
+	checkRange := func(i int, what string, lo, hi uint64) {
+		t.Helper()
+		count, sum, ok := ds.Range(th, m, lo, hi)
+		if !ok {
+			t.Fatalf("op %d: %s range txn failed", i, what)
+		}
+		wc, ws := modelRange(lo, hi)
+		if count != wc || sum != ws {
+			t.Fatalf("op %d: %s range[%d,%d]=(%d,%d) model=(%d,%d)", i, what, lo, hi, count, sum, wc, ws)
+		}
+	}
+	r := workload.NewRng(seed)
+	for i := 0; i < ops; i++ {
+		key := r.Next()%keyRange + 1
+		switch r.Intn(12) {
+		case 0, 1, 2: // insert
+			val := r.Next()
+			ins, ok := ds.Insert(th, m, key, val)
+			_, existed := model[key]
+			if !ok || ins == existed {
+				t.Fatalf("op %d: insert(%d)=%v,%v existed=%v", i, key, ins, ok, existed)
+			}
+			if !existed {
+				model[key] = val
+			}
+		case 3, 4: // delete
+			del, ok := ds.Delete(th, m, key)
+			_, existed := model[key]
+			if !ok || del != existed {
+				t.Fatalf("op %d: delete(%d)=%v,%v existed=%v", i, key, del, ok, existed)
+			}
+			delete(model, key)
+		case 5, 6: // search
+			v, found, ok := ds.Search(th, m, key)
+			mv, existed := model[key]
+			if !ok || found != existed || (found && v != mv) {
+				t.Fatalf("op %d: search(%d)=(%d,%v,%v) model=(%d,%v)", i, key, v, found, ok, mv, existed)
+			}
+		case 7: // empty range beyond the populated key space
+			checkRange(i, "empty", keyRange*2, keyRange*3)
+		case 8: // inverted bounds: always empty
+			if key > 1 {
+				checkRange(i, "inverted", key, key-1)
+			}
+			checkRange(i, "inverted-extreme", ^uint64(0), 0)
+		case 9: // lo=0: key 0 is reserved, so [0,hi] ≡ [1,hi]
+			checkRange(i, "zero-lo", 0, key)
+			checkRange(i, "zero-zero", 0, 0)
+		case 10: // full range and size must agree within one transaction
+			var cnt, n int
+			var sum uint64
+			if ok := th.ReadOnly(func(tx stm.Txn) {
+				cnt, sum = m.RangeTx(tx, 0, ^uint64(0))
+				n = m.SizeTx(tx)
+			}); !ok {
+				t.Fatalf("op %d: full-range txn failed", i)
+			}
+			if cnt != n || cnt != len(model) {
+				t.Fatalf("op %d: full range count %d, size %d, model %d", i, cnt, n, len(model))
+			}
+			if _, ws := modelRange(0, ^uint64(0)); sum != ws {
+				t.Fatalf("op %d: full range sum %d model %d", i, sum, ws)
+			}
+		default: // random narrow range
+			hi := key + r.Next()%(keyRange/4+1)
+			checkRange(i, "narrow", key, hi)
+		}
+	}
+	// Drain so the structure ends empty and both final states agree.
+	for k := range model {
+		if del, ok := ds.Delete(th, m, k); !ok || !del {
+			t.Fatalf("drain delete(%d) failed", k)
+		}
+	}
+	if n, ok := ds.Size(th, m); !ok || n != 0 {
+		t.Fatalf("drained size=%d want 0", n)
+	}
+}
+
 // Concurrent prefills pairs of keys (2i present, 2i+1 absent), then runs
 // workers toggling pairs atomically while checkers assert that every
 // range-query snapshot sees exactly one key per pair. It exercises the full

@@ -99,3 +99,18 @@ func TestConcurrentToggles(t *testing.T) {
 	defer sys.Close()
 	dstest.Concurrent(t, sys, New(1024), 48, 3, 250)
 }
+
+// TestDifferential drives the randomized edge-case differential harness
+// (empty/inverted/zero-lo/full ranges vs a reference map) on both TMs.
+func TestDifferential(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		new  func() stm.System
+	}{{"dctl", newDCTL}, {"multiverse", newMV}} {
+		t.Run(mk.name, func(t *testing.T) {
+			sys := mk.new()
+			defer sys.Close()
+			dstest.Differential(t, sys, New(1024), 1500, 96, 103)
+		})
+	}
+}

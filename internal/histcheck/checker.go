@@ -1,0 +1,283 @@
+package histcheck
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of a linearizability check.
+type Result struct {
+	// Ok reports that a legal linearization of the history exists.
+	Ok bool
+	// Reason describes the failure (empty when Ok).
+	Reason string
+	// Explored counts DFS states visited.
+	Explored int
+	// LimitHit reports that the search gave up at its state budget; the
+	// history is then undecided, not proven non-linearizable.
+	LimitHit bool
+}
+
+// DefaultStateLimit bounds the checker's search. The Wing–Gong search is
+// exponential in the worst case, but memoization over (linearized set,
+// state) configurations keeps realistic histories (frontier width ≈ thread
+// count) far below this.
+const DefaultStateLimit = 4_000_000
+
+// memoLimit caps the failed-configuration cache. Keys are O(history) bytes
+// each, so an unbounded cache could exhaust memory on a pathological
+// history before the state budget trips; past the cap the search degrades
+// to plain (still sound) backtracking.
+const memoLimit = 1 << 20
+
+// Check decides whether ops — one complete recorded history over a single
+// ds.Map — is linearizable. maxStates bounds the search (<= 0 selects
+// DefaultStateLimit).
+//
+// The search follows Wing & Gong: repeatedly choose a minimal operation
+// (one not real-time-preceded by any other unlinearized operation), check
+// its recorded result against the current abstract state — a set of
+// key→value pairs — apply its effect, and backtrack on contradiction. Two
+// specializations make it practical: failed configurations are memoized on
+// the pair (linearized set, abstract state) — both components are required,
+// see memoKey — in the spirit of Lowe's caching; and Range/Size results are
+// checked against the state by interval scan, which is what extends the
+// classical set checker to the paper's versioned queries.
+func Check(ops []Op, maxStates int) Result {
+	if maxStates <= 0 {
+		maxStates = DefaultStateLimit
+	}
+	n := len(ops)
+	if n == 0 {
+		return Result{Ok: true}
+	}
+	sorted := make([]Op, n)
+	copy(sorted, ops)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Inv < sorted[j].Inv })
+	for i := range sorted {
+		if sorted[i].Res == 0 {
+			return Result{Reason: fmt.Sprintf("incomplete op in history: %s", sorted[i])}
+		}
+	}
+
+	c := &checker{
+		ops:      sorted,
+		state:    make(map[uint64]uint64, 64),
+		done:     make([]bool, n),
+		bits:     make([]uint64, (n+63)/64),
+		keyBuf:   make([]byte, 0, ((n+63)/64)*8+64*16),
+		failed:   make(map[string]struct{}, 1024),
+		maxState: maxStates,
+	}
+	ok := c.dfs(0)
+	res := Result{Ok: ok, Explored: c.explored, LimitHit: c.limitHit}
+	switch {
+	case ok:
+	case c.limitHit:
+		res.Reason = fmt.Sprintf("undecided: state budget %d exhausted after linearizing %d/%d ops", maxStates, c.bestDepth, n)
+	default:
+		res.Reason = fmt.Sprintf("not linearizable: best prefix %d/%d ops; stuck frontier: %s", c.bestDepth, n, c.bestFrontier)
+	}
+	return res
+}
+
+type checker struct {
+	ops   []Op
+	state map[uint64]uint64
+	done  []bool
+	first int // lowest index that may be unlinearized
+
+	bits      []uint64 // linearized set, for memoization
+	keyBuf    []byte
+	kvScratch []uint64
+	candBufs  [][]int // per-depth candidate scratch, reused across the DFS
+	failed    map[string]struct{}
+
+	explored     int
+	maxState     int
+	limitHit     bool
+	bestDepth    int
+	bestFrontier string
+}
+
+// candidates appends the indices of the minimal unlinearized ops to buf: an
+// op is minimal iff no unlinearized op's response precedes its invocation.
+// Scanning in invocation order while tracking the least response seen makes
+// this exact — only earlier-invoked ops can precede a later one.
+func (c *checker) candidates(buf []int) []int {
+	minRes := ^uint64(0)
+	for i := c.first; i < len(c.ops); i++ {
+		if c.done[i] {
+			continue
+		}
+		if c.ops[i].Inv > minRes {
+			break
+		}
+		buf = append(buf, i)
+		if c.ops[i].Res < minRes {
+			minRes = c.ops[i].Res
+		}
+	}
+	return buf
+}
+
+// mutation codes for undo
+const (
+	mutNone = iota
+	mutAdded
+	mutRemoved
+)
+
+// apply checks op's recorded result against the current state and applies
+// its effect, reporting how to undo it. ok=false leaves the state untouched.
+func (c *checker) apply(op *Op) (ok bool, mut int, oldVal uint64) {
+	s := c.state
+	switch op.Kind {
+	case Insert:
+		_, present := s[op.Key]
+		if op.ROK {
+			if present {
+				return false, mutNone, 0
+			}
+			s[op.Key] = op.Val
+			return true, mutAdded, 0
+		}
+		return present, mutNone, 0
+	case Delete:
+		v, present := s[op.Key]
+		if op.ROK {
+			if !present {
+				return false, mutNone, 0
+			}
+			delete(s, op.Key)
+			return true, mutRemoved, v
+		}
+		return !present, mutNone, 0
+	case Search:
+		v, present := s[op.Key]
+		return present == op.ROK && (!present || v == op.RVal), mutNone, 0
+	case Range:
+		count, sum := 0, uint64(0)
+		for k := range s {
+			if k >= op.Key && k <= op.Val {
+				count++
+				sum += k
+			}
+		}
+		return count == op.RCount && sum == op.RSum, mutNone, 0
+	default: // Size
+		return len(s) == op.RCount, mutNone, 0
+	}
+}
+
+func (c *checker) undo(op *Op, mut int, oldVal uint64) {
+	switch mut {
+	case mutAdded:
+		delete(c.state, op.Key)
+	case mutRemoved:
+		c.state[op.Key] = oldVal
+	}
+}
+
+// memoKey encodes the configuration (linearized set, abstract state). The
+// state must be part of the key: the same set linearized in different
+// orders can leave different states (two inserts and a delete of one key
+// end in three distinct states depending on order), so caching on the set
+// alone would wrongly poison sibling orders.
+func (c *checker) memoKey() string {
+	buf := c.keyBuf[:0]
+	for _, w := range c.bits {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	kv := c.kvScratch[:0]
+	for k, v := range c.state {
+		kv = append(kv, k, v)
+	}
+	// Insertion sort by key (pairs are few; keys are unique).
+	for i := 2; i < len(kv); i += 2 {
+		for j := i; j >= 2 && kv[j-2] > kv[j]; j -= 2 {
+			kv[j-2], kv[j] = kv[j], kv[j-2]
+			kv[j-1], kv[j+1] = kv[j+1], kv[j-1]
+		}
+	}
+	for _, x := range kv {
+		buf = binary.LittleEndian.AppendUint64(buf, x)
+	}
+	c.kvScratch = kv
+	c.keyBuf = buf
+	return string(buf)
+}
+
+func (c *checker) dfs(depth int) bool {
+	if depth == len(c.ops) {
+		return true
+	}
+	c.explored++
+	if c.explored > c.maxState {
+		c.limitHit = true
+		return false
+	}
+	// The memo key is materialized as a string deliberately: hashing alone
+	// could collide and falsely prune a viable branch, trading memory for
+	// an unsound verdict.
+	key := c.memoKey()
+	if _, bad := c.failed[key]; bad {
+		return false
+	}
+	for len(c.candBufs) <= depth {
+		c.candBufs = append(c.candBufs, nil)
+	}
+	cands := c.candidates(c.candBufs[depth][:0])
+	c.candBufs[depth] = cands
+	if depth > c.bestDepth {
+		c.bestDepth = depth
+		c.bestFrontier = describe(c.ops, cands)
+	}
+	savedFirst := c.first
+	for _, i := range cands {
+		op := &c.ops[i]
+		ok, mut, oldVal := c.apply(op)
+		if !ok {
+			continue
+		}
+		c.done[i] = true
+		c.bits[i/64] |= 1 << (i % 64)
+		for c.first < len(c.ops) && c.done[c.first] {
+			c.first++
+		}
+		if c.dfs(depth + 1) {
+			return true
+		}
+		c.done[i] = false
+		c.bits[i/64] &^= 1 << (i % 64)
+		c.first = savedFirst
+		c.undo(op, mut, oldVal)
+		if c.limitHit {
+			return false
+		}
+	}
+	if len(c.failed) < memoLimit {
+		c.failed[key] = struct{}{}
+	}
+	return false
+}
+
+func describe(ops []Op, cands []int) string {
+	var b strings.Builder
+	for i, idx := range cands {
+		if i == 4 {
+			fmt.Fprintf(&b, " … (+%d more)", len(cands)-i)
+			break
+		}
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(ops[idx].String())
+	}
+	if b.Len() == 0 {
+		return "(none)"
+	}
+	return b.String()
+}

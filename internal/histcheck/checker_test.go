@@ -1,0 +1,203 @@
+package histcheck
+
+import (
+	"testing"
+)
+
+// seq builds a strictly sequential history from op templates (windows
+// [1,2], [3,4], …).
+func seq(ops ...Op) []Op {
+	tick := uint64(1)
+	for i := range ops {
+		ops[i].Inv = tick
+		ops[i].Res = tick + 1
+		tick += 2
+	}
+	return ops
+}
+
+func ins(k, v uint64, ok bool) Op { return Op{Kind: Insert, Key: k, Val: v, ROK: ok} }
+func del(k uint64, ok bool) Op    { return Op{Kind: Delete, Key: k, ROK: ok} }
+func srch(k, v uint64, found bool) Op {
+	return Op{Kind: Search, Key: k, RVal: v, ROK: found}
+}
+func rng(lo, hi uint64, count int, sum uint64) Op {
+	return Op{Kind: Range, Key: lo, Val: hi, RCount: count, RSum: sum}
+}
+func size(n int) Op { return Op{Kind: Size, RCount: n} }
+
+func mustOk(t *testing.T, ops []Op) {
+	t.Helper()
+	if res := Check(ops, 0); !res.Ok {
+		t.Fatalf("valid history rejected: %s", res.Reason)
+	}
+}
+
+func mustFail(t *testing.T, ops []Op) {
+	t.Helper()
+	res := Check(ops, 0)
+	if res.Ok {
+		t.Fatal("invalid history accepted")
+	}
+	if res.LimitHit {
+		t.Fatalf("checker gave up instead of rejecting: %s", res.Reason)
+	}
+}
+
+func TestSequentialHistories(t *testing.T) {
+	mustOk(t, nil)
+	mustOk(t, seq(
+		ins(1, 10, true),
+		ins(1, 11, false), // duplicate insert must fail
+		srch(1, 10, true),
+		ins(3, 30, true),
+		rng(1, 5, 2, 4), // keys {1,3}
+		size(2),
+		del(1, true),
+		del(1, false),
+		srch(1, 0, false),
+		rng(0, ^uint64(0), 1, 3),
+		rng(2, 1, 0, 0), // inverted bounds: empty
+		size(1),
+	))
+}
+
+func TestRejectsStaleSearch(t *testing.T) {
+	mustFail(t, seq(
+		ins(1, 5, true),
+		del(1, true),
+		srch(1, 5, true), // deleted key still visible
+	))
+}
+
+func TestRejectsWrongValue(t *testing.T) {
+	mustFail(t, seq(
+		ins(1, 5, true),
+		srch(1, 6, true), // value never written
+	))
+}
+
+func TestRejectsDoubleInsert(t *testing.T) {
+	mustFail(t, seq(
+		ins(1, 5, true),
+		ins(1, 7, true), // both claim to have inserted
+	))
+}
+
+func TestRejectsTornRange(t *testing.T) {
+	mustFail(t, seq(
+		ins(2, 1, true),
+		ins(4, 1, true),
+		rng(1, 10, 1, 2), // a committed key is missing from the scan
+	))
+}
+
+func TestRejectsSizeMismatch(t *testing.T) {
+	mustFail(t, seq(
+		ins(2, 1, true),
+		ins(4, 1, true),
+		size(1),
+	))
+}
+
+// TestConcurrentAmbiguityAccepted: a search overlapping an insert may
+// linearize on either side.
+func TestConcurrentAmbiguityAccepted(t *testing.T) {
+	for _, found := range []bool{true, false} {
+		val := uint64(0)
+		if found {
+			val = 9
+		}
+		mustOk(t, []Op{
+			{Kind: Insert, Key: 1, Val: 9, ROK: true, Inv: 1, Res: 4},
+			{Kind: Search, Key: 1, RVal: val, ROK: found, Inv: 2, Res: 3, Thread: 1},
+		})
+	}
+}
+
+// TestRealTimeOrderEnforced: the same results become invalid once the ops
+// stop overlapping.
+func TestRealTimeOrderEnforced(t *testing.T) {
+	// Search completes before the insert is invoked, yet sees its value.
+	mustFail(t, []Op{
+		{Kind: Search, Key: 1, RVal: 9, ROK: true, Inv: 1, Res: 2},
+		{Kind: Insert, Key: 1, Val: 9, ROK: true, Inv: 3, Res: 4, Thread: 1},
+	})
+}
+
+// TestConcurrentRangeSplit: a range overlapping two inserts may see any
+// prefix of them (here: just one), but a range after both responses may not.
+func TestConcurrentRangeSplit(t *testing.T) {
+	mustOk(t, []Op{
+		{Kind: Insert, Key: 2, Val: 1, ROK: true, Inv: 1, Res: 6},
+		{Kind: Insert, Key: 4, Val: 1, ROK: true, Inv: 2, Res: 7, Thread: 1},
+		{Kind: Range, Key: 1, Val: 10, RCount: 1, RSum: 2, Inv: 3, Res: 5, Thread: 2},
+	})
+	mustFail(t, []Op{
+		{Kind: Insert, Key: 2, Val: 1, ROK: true, Inv: 1, Res: 2},
+		{Kind: Insert, Key: 4, Val: 1, ROK: true, Inv: 3, Res: 4, Thread: 1},
+		{Kind: Range, Key: 1, Val: 10, RCount: 1, RSum: 4, Inv: 5, Res: 6, Thread: 2},
+	})
+}
+
+// TestMemoOrderSensitivity is the regression test for a real checker bug:
+// the same linearized SET reached in different orders can leave different
+// states (here {B}, {C}, or absent from two inserts and a delete), so the
+// memo must key on (set, state), not the set alone. The history below is
+// only explainable by the order C, delete, B — which a set-keyed memo
+// wrongly pruned after first exploring B, delete, C.
+func TestMemoOrderSensitivity(t *testing.T) {
+	mustOk(t, []Op{
+		{Kind: Delete, Key: 1, ROK: true, Inv: 1, Res: 10},                    // needs a prior insert
+		{Kind: Insert, Key: 1, Val: 7, ROK: true, Inv: 2, Res: 11, Thread: 1}, // B
+		{Kind: Insert, Key: 1, Val: 9, ROK: true, Inv: 3, Res: 12, Thread: 2}, // C
+		{Kind: Search, Key: 1, RVal: 7, ROK: true, Inv: 13, Res: 14, Thread: 2},
+	})
+	// And the symmetric resolution: the search pins the other survivor.
+	mustOk(t, []Op{
+		{Kind: Delete, Key: 1, ROK: true, Inv: 1, Res: 10},
+		{Kind: Insert, Key: 1, Val: 7, ROK: true, Inv: 2, Res: 11, Thread: 1},
+		{Kind: Insert, Key: 1, Val: 9, ROK: true, Inv: 3, Res: 12, Thread: 2},
+		{Kind: Search, Key: 1, RVal: 9, ROK: true, Inv: 13, Res: 14, Thread: 2},
+	})
+	// But a value that neither order can leave is still rejected.
+	mustFail(t, []Op{
+		{Kind: Delete, Key: 1, ROK: true, Inv: 1, Res: 10},
+		{Kind: Insert, Key: 1, Val: 7, ROK: true, Inv: 2, Res: 11, Thread: 1},
+		{Kind: Insert, Key: 1, Val: 9, ROK: true, Inv: 3, Res: 12, Thread: 2},
+		{Kind: Search, Key: 1, RVal: 8, ROK: true, Inv: 13, Res: 14, Thread: 2},
+	})
+}
+
+func TestIncompleteOpRejected(t *testing.T) {
+	res := Check([]Op{{Kind: Insert, Key: 1, Val: 1, ROK: true, Inv: 1}}, 0)
+	if res.Ok {
+		t.Fatal("accepted a history with an incomplete op")
+	}
+}
+
+// TestRecorderDiscardAndDrop: discarded ops vanish, overflowing slabs are
+// counted, and ticks order invocation before response.
+func TestRecorderDiscardAndDrop(t *testing.T) {
+	h := NewHistory(1, 2)
+	r := h.Recorder(0)
+	tok := r.Invoke(Insert, 1, 5)
+	r.Return(tok, true, 0, 0, 0)
+	tok = r.Invoke(Delete, 1, 0)
+	r.Discard(tok)
+	tok = r.Invoke(Search, 1, 0)
+	r.Return(tok, true, 5, 0, 0)
+	if r.Invoke(Size, 0, 0) >= 0 || h.Dropped() != 1 {
+		t.Fatalf("slab overflow not reported (dropped=%d)", h.Dropped())
+	}
+	ops := h.Ops()
+	if len(ops) != 2 || ops[0].Kind != Insert || ops[1].Kind != Search {
+		t.Fatalf("unexpected ops: %v", ops)
+	}
+	for _, op := range ops {
+		if op.Inv >= op.Res {
+			t.Fatalf("window inverted: %s", op)
+		}
+	}
+	mustOk(t, ops)
+}

@@ -1,0 +1,47 @@
+package histcheck
+
+import (
+	"testing"
+
+	"repro/internal/ds/abtree"
+	"repro/internal/mvstm"
+)
+
+// TestDriverHistoriesLinearizable smoke-tests the driver end to end on one
+// TM: every profile must produce a complete, checkable, linearizable
+// history. The full TM × data-structure matrix lives in internal/stmtest.
+func TestDriverHistoriesLinearizable(t *testing.T) {
+	const threads, ops = 3, 200
+	for _, p := range Profiles() {
+		t.Run(p.Name, func(t *testing.T) {
+			sys := mvstm.New(mvstm.Config{LockTableSize: 1 << 10})
+			defer sys.Close()
+			m := abtree.New(4 * int(p.KeyRange))
+			h := RunHistory(sys, m, p, threads, ops, 42)
+			if h.Dropped() != 0 {
+				t.Fatalf("driver dropped %d ops with correctly sized slabs", h.Dropped())
+			}
+			hist := h.Ops()
+			if len(hist) == 0 {
+				t.Fatal("empty history")
+			}
+			res := Check(hist, 0)
+			if !res.Ok {
+				t.Fatalf("history not linearizable: %s", res.Reason)
+			}
+		})
+	}
+}
+
+// TestProfileByName covers the lookup used by stmtorture's flags.
+func TestProfileByName(t *testing.T) {
+	for _, p := range Profiles() {
+		got, ok := ProfileByName(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Fatalf("profile %q not found", p.Name)
+		}
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Fatal("unknown profile found")
+	}
+}

@@ -1,0 +1,188 @@
+// Package histcheck records concurrent operation histories over the ds.Map
+// API and decides whether they are linearizable — the repository's torture
+// safety net. The paper's central claim is that versioned queries (RangeTx,
+// SizeTx) return linearizable results while updates proceed concurrently;
+// this package can falsify that claim on a recorded run rather than merely
+// probing invariants.
+//
+// A History owns a shared logical tick clock and one Recorder per worker
+// thread. Recorders are fixed-slab and allocation-free in steady state: a
+// worker calls Invoke before it starts a transaction (stamping the
+// invocation tick), then Return after the transaction commits (stamping the
+// response tick and the observed results), or Discard if the transaction
+// starved or was cancelled and therefore had no effect. The [Inv, Res]
+// window is the real-time interval in which the operation's linearization
+// point must fall.
+//
+// Check (checker.go) then runs a Wing–Gong-style search for a legal
+// linearization, specialized to the ds.Map operations: insert/delete/search
+// exact-match semantics plus interval checking of RangeTx count/key-sum and
+// SizeTx results against the set of linearizable states.
+package histcheck
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Kind identifies one ds.Map operation.
+type Kind uint8
+
+const (
+	Insert Kind = iota
+	Delete
+	Search
+	Range // Key = lo, Val = hi
+	Size
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	case Search:
+		return "search"
+	case Range:
+		return "range"
+	default:
+		return "size"
+	}
+}
+
+// Op is one completed operation: its real-time window, arguments, and the
+// results the data structure reported. For Insert, Key/Val are the inserted
+// pair; for Delete/Search, Key is the key; for Range, Key and Val hold lo
+// and hi.
+type Op struct {
+	Inv, Res uint64 // invocation/response ticks; Res == 0 means incomplete
+	Kind     Kind
+	Key, Val uint64
+
+	ROK    bool   // Insert: inserted; Delete: deleted; Search: found
+	RVal   uint64 // Search: value found
+	RCount int    // Range: count; Size: size
+	RSum   uint64 // Range: key sum
+	Thread int
+}
+
+// String renders the op for failure reports.
+func (o Op) String() string {
+	switch o.Kind {
+	case Insert:
+		return fmt.Sprintf("T%d insert(%d,%d)=%v @[%d,%d]", o.Thread, o.Key, o.Val, o.ROK, o.Inv, o.Res)
+	case Delete:
+		return fmt.Sprintf("T%d delete(%d)=%v @[%d,%d]", o.Thread, o.Key, o.ROK, o.Inv, o.Res)
+	case Search:
+		return fmt.Sprintf("T%d search(%d)=(%d,%v) @[%d,%d]", o.Thread, o.Key, o.RVal, o.ROK, o.Inv, o.Res)
+	case Range:
+		return fmt.Sprintf("T%d range[%d,%d]=(%d,%d) @[%d,%d]", o.Thread, o.Key, o.Val, o.RCount, o.RSum, o.Inv, o.Res)
+	default:
+		return fmt.Sprintf("T%d size()=%d @[%d,%d]", o.Thread, o.RCount, o.Inv, o.Res)
+	}
+}
+
+// History is one recorded run: a shared tick clock plus per-thread op slabs.
+type History struct {
+	ticks atomic.Uint64
+	recs  []*Recorder
+}
+
+// NewHistory allocates recorders for threads workers, each with a fixed slab
+// of opsPerThread operations. All allocation happens here; recording is
+// allocation-free. Workers must run at most opsPerThread operations each —
+// an overflowing slab drops ops, which makes the history incomplete and
+// unverifiable (see Dropped).
+func NewHistory(threads, opsPerThread int) *History {
+	h := &History{recs: make([]*Recorder, threads)}
+	for i := range h.recs {
+		h.recs[i] = &Recorder{h: h, thread: i, ops: make([]Op, 0, opsPerThread)}
+	}
+	return h
+}
+
+// Recorder returns thread i's recorder. Recorders are single-owner: only
+// thread i may call Invoke/Return/Discard on it.
+func (h *History) Recorder(i int) *Recorder { return h.recs[i] }
+
+// Dropped reports operations lost to full slabs. A non-zero count means the
+// history is incomplete: an unrecorded committed update would make a correct
+// history look non-linearizable, so callers must size slabs to their op
+// counts and treat Dropped > 0 as a harness bug.
+func (h *History) Dropped() int {
+	n := 0
+	for _, r := range h.recs {
+		n += r.dropped
+	}
+	return n
+}
+
+// Ops gathers every completed operation, sorted by invocation tick. Call it
+// only after all workers have finished.
+func (h *History) Ops() []Op {
+	var out []Op
+	for _, r := range h.recs {
+		for i := range r.ops {
+			if r.ops[i].Res != 0 {
+				out = append(out, r.ops[i])
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Inv < out[j].Inv })
+	return out
+}
+
+// Recorder is one thread's operation log: a preallocated slab appended to
+// without allocation. A thread records one operation at a time
+// (Invoke → Return/Discard strictly alternate).
+type Recorder struct {
+	h       *History
+	thread  int
+	ops     []Op
+	dropped int
+}
+
+// Invoke stamps an operation's invocation tick before its transaction
+// begins and returns a token for Return/Discard. A full slab drops the op
+// and returns a negative token (Return/Discard then no-op).
+func (r *Recorder) Invoke(kind Kind, key, val uint64) int {
+	if len(r.ops) == cap(r.ops) {
+		r.dropped++
+		return -1
+	}
+	r.ops = append(r.ops, Op{
+		Inv:    r.h.ticks.Add(1),
+		Kind:   kind,
+		Key:    key,
+		Val:    val,
+		Thread: r.thread,
+	})
+	return len(r.ops) - 1
+}
+
+// Return completes operation tok with the observed results and stamps its
+// response tick. rok carries insert/delete/search booleans, rval the search
+// result, rcount the range count or size, rsum the range key sum.
+func (r *Recorder) Return(tok int, rok bool, rval uint64, rcount int, rsum uint64) {
+	if tok < 0 {
+		return
+	}
+	op := &r.ops[tok]
+	op.ROK, op.RVal, op.RCount, op.RSum = rok, rval, rcount, rsum
+	op.Res = r.h.ticks.Add(1)
+}
+
+// Discard forgets operation tok: its transaction starved or was cancelled
+// and, by the stm.Thread contract, had no effect. The slab slot is reused.
+func (r *Recorder) Discard(tok int) {
+	if tok < 0 {
+		return
+	}
+	// Threads record one op at a time, so tok is always the newest entry.
+	if tok != len(r.ops)-1 {
+		panic("histcheck: Discard of a non-current operation")
+	}
+	r.ops = r.ops[:tok]
+}

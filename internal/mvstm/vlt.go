@@ -105,6 +105,17 @@ func (vl *versionList) traverse(rClock uint64) (data uint64, ok bool) {
 	vn := vl.head.Load()
 	for vn != nil {
 		m := vn.meta.Load()
+		if faultTBDRead && metaTBD(m) {
+			// Injected bug (build tag mvstmfault only): serve the
+			// uncommitted TBD head instead of waiting for it to resolve.
+			return vn.data.Load(), true
+		}
+		if faultLaxTraverse && !metaTBD(m) && metaTs(m) == rClock && metaTs(m) != deletedTs {
+			// Injected bug (mvstmfault): accept a version whose commit
+			// clock EQUALS the read clock — the "<=" acceptance the doc
+			// comment below explains is outside the reader's snapshot.
+			return vn.data.Load(), true
+		}
 		if metaTBD(m) && metaTs(m) < rClock {
 			// The pending version was begun below our read clock and
 			// may resolve to a commit clock below it: wait and

@@ -1,0 +1,113 @@
+//go:build mvstmfault
+
+// The mutation self-test: built only under the mvstmfault tag, which
+// deliberately weakens mvstm's read validation (version-list traversals
+// serve uncommitted TBD heads — see internal/mvstm/fault_on.go). It proves
+// the histcheck torture subsystem catches a real consistency bug rather
+// than vacuously passing. Run with:
+//
+//	go test -tags mvstmfault -run FaultInjection ./internal/stmtest/
+//
+// Other tests in this package are expected to fail under the tag; always
+// filter with -run.
+package stmtest
+
+import (
+	"testing"
+
+	"repro/internal/histcheck"
+	"repro/internal/mvstm"
+	"repro/internal/stm"
+)
+
+// TestFaultInjectionCaughtByChecker drives a deterministic dirty-read
+// schedule through the weakened TM and asserts the linearizability checker
+// rejects the recorded history.
+//
+// Schedule: a word (standing for key 7's value) is initialized to 1 and
+// versioned via a snapshot-isolation read (SI reads take the versioned path
+// from their first attempt, making the test deterministic — no abort
+// thresholds involved). A writer transaction then installs a TBD version
+// holding 2 and pauses before cancelling; the weakened traverse serves that
+// uncommitted 2 to a concurrent versioned reader. The writer cancels, so no
+// committed operation ever wrote 2 — no linearization can explain the read.
+func TestFaultInjectionCaughtByChecker(t *testing.T) {
+	if !mvstm.FaultInjected {
+		t.Fatal("built without the mvstmfault tag")
+	}
+	sys := mvstm.NewPinned(mvstm.Config{LockTableSize: SmallTables, DisableBG: true}, mvstm.ModeQ)
+	defer sys.Close()
+
+	const key = 7
+	var w stm.Word
+	h := histcheck.NewHistory(2, 4)
+	wrec, rrec := h.Recorder(0), h.Recorder(1)
+
+	init := sys.RegisterMV()
+	tok := wrec.Invoke(histcheck.Insert, key, 1)
+	if !init.Atomic(func(tx stm.Txn) { tx.Write(&w, 1) }) {
+		t.Fatal("init txn failed")
+	}
+	wrec.Return(tok, true, 0, 0, 0)
+	init.Unregister()
+
+	// Version the address: the SI read finds it unversioned and installs a
+	// version list holding the current value 1.
+	reader := sys.RegisterMV()
+	defer reader.Unregister()
+	if !reader.AtomicSI(func(tx stm.Txn) { _ = tx.Read(&w) }) {
+		t.Fatal("versioning SI read failed")
+	}
+
+	// Writer: leave a TBD version of 2 pending, then cancel.
+	pending := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		th := sys.RegisterMV()
+		defer th.Unregister()
+		th.Atomic(func(tx stm.Txn) {
+			tx.Write(&w, 2)
+			close(pending)
+			<-release
+			tx.Cancel()
+		})
+	}()
+	<-pending
+
+	var got uint64
+	tok = rrec.Invoke(histcheck.Search, key, 0)
+	if !reader.AtomicSI(func(tx stm.Txn) { got = tx.Read(&w) }) {
+		t.Fatal("reader SI txn failed")
+	}
+	rrec.Return(tok, true, got, 0, 0)
+	close(release)
+	<-done
+
+	// The injected fault must actually have fired: without it the reader's
+	// snapshot (traverse skips the TBD head) would hold 1.
+	if got != 2 {
+		t.Fatalf("fault injection did not produce a dirty read: read %d, want 2", got)
+	}
+
+	ops := h.Ops()
+	res := histcheck.Check(ops, 0)
+	if res.Ok {
+		t.Fatalf("checker accepted a dirty-read history: %v", ops)
+	}
+	t.Logf("checker correctly rejected the weakened history: %s", res.Reason)
+
+	// Control: the same schedule with the consistent snapshot value is
+	// linearizable — it is specifically the uncommitted 2 that is illegal.
+	fixed := make([]histcheck.Op, len(ops))
+	copy(fixed, ops)
+	for i := range fixed {
+		if fixed[i].Kind == histcheck.Search {
+			fixed[i].RVal = 1
+		}
+	}
+	if res := histcheck.Check(fixed, 0); !res.Ok {
+		t.Fatalf("control history rejected: %s", res.Reason)
+	}
+}

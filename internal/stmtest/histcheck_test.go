@@ -1,0 +1,71 @@
+package stmtest
+
+import (
+	"testing"
+
+	"repro/internal/ds"
+	"repro/internal/ds/abtree"
+	"repro/internal/ds/avl"
+	"repro/internal/ds/extbst"
+	"repro/internal/ds/hashmap"
+	"repro/internal/histcheck"
+)
+
+// dsFactories builds the four evaluated data structures fresh per test.
+func dsFactories() []struct {
+	Name string
+	New  func() ds.Map
+} {
+	const capacity = 4096
+	return []struct {
+		Name string
+		New  func() ds.Map
+	}{
+		{"abtree", func() ds.Map { return abtree.New(capacity) }},
+		{"avl", func() ds.Map { return avl.New(capacity) }},
+		{"extbst", func() ds.Map { return extbst.New(capacity) }},
+		{"hashmap", func() ds.Map { return hashmap.New(256, capacity) }},
+	}
+}
+
+// TestHistoryLinearizable is the history-checked concurrent conformance
+// matrix: every TM factory × every data structure runs a recorded torture
+// workload whose full history must be linearizable. Unlike the invariant
+// tests (bank sums, pair counts), this validates each individual operation
+// result — including RangeTx counts/key-sums and SizeTx — against the set
+// of linearizable states, so a Mode U/Q regression or a use-after-reclaim
+// that corrupts one range result fails the run. Profiles rotate across the
+// matrix so every distribution is exercised without multiplying the test
+// count.
+func TestHistoryLinearizable(t *testing.T) {
+	const (
+		threads      = 3
+		opsPerThread = 250
+	)
+	profiles := histcheck.Profiles()
+	combo := 0
+	for _, f := range All() {
+		for _, d := range dsFactories() {
+			p := profiles[combo%len(profiles)]
+			seed := uint64(combo*7919 + 1)
+			combo++
+			t.Run(f.Name+"/"+d.Name+"/"+p.Name, func(t *testing.T) {
+				t.Parallel()
+				sys := f.New()
+				defer sys.Close()
+				h := histcheck.RunHistory(sys, d.New(), p, threads, opsPerThread, seed)
+				if h.Dropped() != 0 {
+					t.Fatalf("recorder dropped %d ops", h.Dropped())
+				}
+				ops := h.Ops()
+				res := histcheck.Check(ops, 0)
+				if res.LimitHit {
+					t.Fatalf("checker inconclusive on %d ops: %s", len(ops), res.Reason)
+				}
+				if !res.Ok {
+					t.Fatalf("non-linearizable history (%d ops, seed %d): %s", len(ops), seed, res.Reason)
+				}
+			})
+		}
+	}
+}

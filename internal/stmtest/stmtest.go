@@ -23,10 +23,17 @@ type Factory struct {
 	New  func() stm.System
 }
 
-// All returns factories for every TM in the repository.
+// All returns factories for every TM in the repository. The
+// "multiverse-eager" variant drops the versioned-path and mode-switch
+// thresholds to their minimum so short tests exercise the versioned read
+// path and Mode U machinery, which the paper-default K values would only
+// reach under sustained contention.
 func All() []Factory {
 	return []Factory{
 		{"multiverse", func() stm.System { return mvstm.New(mvstm.Config{LockTableSize: SmallTables}) }},
+		{"multiverse-eager", func() stm.System {
+			return mvstm.New(mvstm.Config{LockTableSize: SmallTables, K1: 1, K2: 2, K3: 2, S: 2})
+		}},
 		{"multiverse-pinQ", func() stm.System {
 			return mvstm.NewPinned(mvstm.Config{LockTableSize: SmallTables}, mvstm.ModeQ)
 		}},
