@@ -1,17 +1,28 @@
-// Command histdebug reruns hist-torture rounds (same driver and checker as
+// Command histdebug reruns hist-torture rounds (same driver and checkers as
 // `stmtorture -workload hist`) and, when a round's history is not
 // linearizable, dumps the operations so the violation can be read by hand:
-// the full history, one key's operations, or per-key projection verdicts.
+// the full history (optionally filtered to one key), per-key projection
+// verdicts, and each key's quiescent-point fragment structure with
+// per-fragment verdicts — the same decomposition the partitioned checker
+// searches, so the report pinpoints the fragment the checker got stuck in.
 //
 // Typical use, starting from a seed printed by stmtorture:
 //
 //	histdebug -tm dctl -ds extbst -profile zipf -seed <seed> -tries 1 -key 13
 //
-// With point-op profiles (e.g. -profile points) the per-key projections
-// pinpoint the offending key directly: by linearizability's locality, a
-// point-op history is linearizable iff every per-key projection is, so a
-// failing global check with all-green projections indicates a checker bug,
-// not a TM bug (this is how the checker's memoization bug was found).
+// The report is deterministic for a given recorded history: keys print in
+// ascending order, fragments in tick order, and the seed is echoed on
+// every verdict line, so checking the same history twice prints the same
+// bytes. Re-running a seed re-races the worker threads and generally
+// records a *different* history (a seed is a high-probability schedule,
+// not a recording), so differences between two replays implicate the race,
+// not the printer.
+//
+// By linearizability's locality, a point-op history is linearizable iff
+// every per-key projection is, so a failing global check with all-green
+// projections indicates either a cross-key (range/size) violation or a
+// checker bug, not a per-key TM bug (this is how the checker's memoization
+// bug was found).
 package main
 
 import (
@@ -32,6 +43,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base seed; try i uses seed+i")
 	key := flag.Uint64("key", 0, "dump only ops touching this key (0 = all)")
 	tries := flag.Int("tries", 50, "rounds to attempt before giving up")
+	checker := flag.String("checker", "partitioned", "verdict checker: partitioned or monolithic")
 	flag.Parse()
 
 	p, ok := histcheck.ProfileByName(*profName)
@@ -39,12 +51,28 @@ func main() {
 		fmt.Printf("unknown profile %q\n", *profName)
 		os.Exit(2)
 	}
+	check := histcheck.CheckPartitioned
+	switch *checker {
+	case "partitioned":
+	case "monolithic":
+		check = histcheck.Check
+	default:
+		fmt.Printf("unknown -checker %q (want partitioned or monolithic)\n", *checker)
+		os.Exit(2)
+	}
+	// Structure capacity matches stmtorture's histRound formula (including
+	// the soak clamp) so a replayed seed drives the same geometry that
+	// failed.
+	capacity := 4 * (*threads) * (*ops)
+	if capacity > 1<<16 {
+		capacity = 1 << 16
+	}
 	for i := 0; i < *tries; i++ {
 		sys := bench.NewTM(*tm, 1<<16)
-		m := bench.NewDS(*dsName, 4*(*threads)*(*ops))
+		m := bench.NewDS(*dsName, capacity)
 		hist := histcheck.Run(sys, m, p, *threads, *ops, *seed+uint64(i))
 		sys.Close()
-		res := histcheck.Check(hist, 0)
+		res := check(hist, 0)
 		if res.Ok || res.LimitHit {
 			continue
 		}
@@ -57,37 +85,64 @@ func main() {
 				fmt.Println("  ", op)
 			}
 		}
-		projections(hist)
+		projections(hist, *seed+uint64(i), *key)
 		os.Exit(1)
 	}
 	fmt.Println("no violation reproduced")
 }
 
-// projections checks each key's point-op subhistory on its own. Range and
-// size ops span keys and are skipped, so a red projection always implicates
+// projections reports each key's point-op subhistory on its own, in
+// ascending key order, followed by its fragment decomposition: the
+// quiescent-point cuts the partitioned checker searches, each fragment
+// with its tick window and an independently checked verdict (a fragment is
+// replayed from an empty map, so a red fragment-0 verdict always
+// implicates its ops, while later red fragments may just need earlier
+// state — the per-key verdict is the authoritative one). Range and size
+// ops span keys and are excluded, so a red projection always implicates
 // its key, while all-green projections point at the cross-key ops — or, if
 // there are none, at the checker itself.
-func projections(hist []histcheck.Op) {
-	keys := map[uint64]bool{}
-	for _, op := range hist {
-		if op.Kind != histcheck.Range && op.Kind != histcheck.Size {
-			keys[op.Key] = true
+func projections(hist []histcheck.Op, seed uint64, only uint64) {
+	keys, byKey, cross := histcheck.PointsByKey(hist)
+	fmt.Printf("  %d keys, %d cross-key ops (seed %d)\n", len(keys), len(cross), seed)
+	for _, k := range keys {
+		if only != 0 && k != only {
+			continue
 		}
-	}
-	for k := range keys {
-		var sub []histcheck.Op
-		for _, op := range hist {
-			if op.Key == k && op.Kind != histcheck.Range && op.Kind != histcheck.Size {
-				sub = append(sub, op)
-			}
-		}
-		r := histcheck.Check(sub, 0)
+		sub := byKey[k]
+		r := histcheck.CheckPartitioned(sub, 0)
 		verdict := "ok"
 		if r.LimitHit {
 			verdict = "undecided"
 		} else if !r.Ok {
 			verdict = "VIOLATION: " + r.Reason
 		}
-		fmt.Printf("  key %d projection (%d ops): %s\n", k, len(sub), verdict)
+		frags := histcheck.Fragments(sub)
+		fmt.Printf("  key %d projection (%d ops, %d fragments, seed %d): %s\n",
+			k, len(sub), len(frags), seed, verdict)
+		if r.Ok && !r.LimitHit {
+			continue
+		}
+		// Only failing/undecided keys get the per-fragment breakdown, so a
+		// clean soak report stays readable.
+		for fi, frag := range frags {
+			lo, hi := frag[0].Inv, frag[0].Res
+			for _, op := range frag {
+				if op.Res > hi {
+					hi = op.Res
+				}
+			}
+			fr := histcheck.Check(frag, 0)
+			fverdict := "ok"
+			if fr.LimitHit {
+				fverdict = "undecided"
+			} else if !fr.Ok {
+				fverdict = "VIOLATION: " + fr.Reason
+			}
+			fmt.Printf("    fragment %d/%d ticks [%d,%d] (%d ops): %s\n",
+				fi+1, len(frags), lo, hi, len(frag), fverdict)
+			for _, op := range frag {
+				fmt.Println("      ", op)
+			}
+		}
 	}
 }

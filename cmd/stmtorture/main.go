@@ -15,17 +15,32 @@
 // operations (zipf-skewed keys, range-heavy, size-heavy, churn — see
 // histcheck.Profiles) are recorded as full concurrent histories and checked
 // for linearizability, validating every individual operation result rather
-// than one aggregate invariant. On failure it shrinks the workload while
-// the violation still reproduces and prints a minimized reproducer
-// command line.
+// than one aggregate invariant. Histories run through the partitioned
+// P-compositional checker by default (-checker selects monolithic or a
+// both-and-compare differential mode), which scales to 100k+-op histories.
+// On failure it shrinks the workload while the violation still reproduces,
+// prints a minimized reproducer command line, and promotes the failing
+// configuration into the adaptive seed corpus (-corpus, replayed forever
+// after by internal/stmtest's TestSeedCorpus).
 //
 //	stmtorture -tm multiverse -workload hist -dur 30s -seed 1
+//
+// Soak mode records one long history per round instead of many short ones
+// — each round runs for -soak, capped at -ops operations per thread — and
+// is the dedicated hammer for Mode U ↔ Q transition storms under mixed
+// SI/update load, which only show up in histories far past the monolithic
+// checker's reach:
+//
+//	stmtorture -tm multiverse-eager -workload hist -soak 30s -dur 10m
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,8 +68,18 @@ func main() {
 	seed := flag.Uint64("seed", 1, "hist: base seed (round r uses a seed derived from it)")
 	dsName := flag.String("ds", "all", "hist: data structure (abtree, avl, extbst, hashmap, or all)")
 	profName := flag.String("profile", "all", "hist: op profile (see histcheck.Profiles, or all)")
-	opsPer := flag.Int("ops", 300, "hist: operations per thread per round")
+	opsPer := flag.Int("ops", 0, "hist: operations per thread per round (0 = 300, or a 50000 slab cap in soak mode)")
+	soak := flag.Duration("soak", 0, "hist: record one duration-bounded long history per round instead of fixed-size rounds")
+	checker := flag.String("checker", "partitioned", "hist: partitioned, monolithic, or both (compare verdicts)")
+	corpus := flag.String("corpus", "testdata/seeds", "hist: write failing configurations here for stmtest replay (empty = off)")
 	flag.Parse()
+
+	switch *checker {
+	case "partitioned", "monolithic", "both":
+	default:
+		fmt.Printf("unknown -checker %q (want partitioned, monolithic, or both)\n", *checker)
+		os.Exit(2)
+	}
 
 	run := func(name string, fn func(sys stm.System, stop *atomic.Bool, rep *report)) bool {
 		sys := bench.NewTM(*tm, 1<<16)
@@ -87,9 +112,18 @@ func main() {
 		ok = run("ledger", func(sys stm.System, stop *atomic.Bool, rep *report) { ledger(sys, stop, rep, *threads) }) && ok
 	}
 	if *wl == "hist" || *wl == "all" {
+		ops := *opsPer
+		if ops <= 0 {
+			if *soak > 0 {
+				ops = 50000
+			} else {
+				ops = 300
+			}
+		}
 		cfg := histConfig{
 			tm: *tm, ds: *dsName, profile: *profName,
-			threads: *threads, ops: *opsPer, seed: *seed, dur: *dur,
+			threads: *threads, ops: ops, seed: *seed, dur: *dur,
+			soak: *soak, checker: *checker, corpus: *corpus,
 		}
 		ok = histTorture(cfg) && ok
 	}
@@ -107,6 +141,9 @@ type histConfig struct {
 	threads, ops    int
 	seed            uint64
 	dur             time.Duration
+	soak            time.Duration // > 0: duration-bounded long histories
+	checker         string        // partitioned, monolithic, both
+	corpus          string        // failing-seed corpus dir ("" = off)
 }
 
 // roundSeed derives round r's seed so that a reproducer run (-seed <failing
@@ -115,24 +152,91 @@ func (c histConfig) roundSeed(r int) uint64 {
 	return c.seed + uint64(r)*0x9e3779b97f4a7c15
 }
 
-// histRound runs one record-and-check round; it reports the checker result
-// and the number of checked ops.
-func histRound(tm, dsName string, p histcheck.Profile, threads, ops int, seed uint64) (histcheck.Result, int) {
-	sys := bench.NewTM(tm, 1<<16)
+// histCheck runs the selected checker(s). In "both" mode a verdict
+// disagreement is itself reported as a violation: a partitioned rejection
+// of a monolithically accepted history is a checker soundness bug, and the
+// reverse marks a cross-key coupling the conservative pass cannot see —
+// either deserves a loud report, which makes "both" a differential torture
+// for the checkers themselves (only sensible at sizes the monolithic
+// search can finish).
+func histCheck(checker string, hist []histcheck.Op) histcheck.Result {
+	switch checker {
+	case "monolithic":
+		return histcheck.Check(hist, 0)
+	case "both":
+		mono := histcheck.Check(hist, 0)
+		part := histcheck.CheckPartitioned(hist, 0)
+		if !mono.LimitHit && !part.LimitHit && mono.Ok != part.Ok {
+			detail := mono.Reason
+			if !part.Ok {
+				detail = part.Reason
+			}
+			return histcheck.Result{Reason: fmt.Sprintf(
+				"CHECKER DISAGREEMENT: monolithic ok=%v, partitioned ok=%v (rejection: %s)",
+				mono.Ok, part.Ok, detail)}
+		}
+		// A definite rejection from either oracle outranks the other's
+		// undecided (budget-tripped) verdict.
+		if !part.Ok && !part.LimitHit {
+			return part
+		}
+		if !mono.Ok && !mono.LimitHit {
+			return mono
+		}
+		if part.LimitHit {
+			return part
+		}
+		return mono
+	default: // partitioned
+		return histcheck.CheckPartitioned(hist, 0)
+	}
+}
+
+// histRound runs one record-and-check round; it reports the checker
+// result, the number of checked ops, and the per-thread op budget a corpus
+// entry needs to replay the round: the attempted count for fixed-size
+// rounds (discarded ops consume attempts and RNG draws too), and the
+// largest per-thread recorded count for soak rounds, where the deadline —
+// not the budget — decided the length.
+func histRound(c histConfig, dsName string, p histcheck.Profile, threads, ops int, seed uint64) (histcheck.Result, int, int) {
+	sys := bench.NewTM(c.tm, 1<<16)
 	defer sys.Close()
-	m := bench.NewDS(dsName, 4*threads*ops)
-	h := histcheck.RunHistory(sys, m, p, threads, ops, seed)
+	capacity := 4 * threads * ops
+	if capacity > 1<<16 {
+		// Soak slabs would otherwise size the structures (and the
+		// hashmap's 10× bucket array) by the op budget; the profiles' key
+		// ranges are tiny, so past this point extra capacity only buys
+		// slower full-structure scans and memory.
+		capacity = 1 << 16
+	}
+	m := bench.NewDS(dsName, capacity)
+	h := histcheck.RunHistoryFor(sys, m, p, threads, ops, seed, c.soak)
 	if h.Dropped() != 0 {
-		return histcheck.Result{Reason: fmt.Sprintf("harness bug: %d ops dropped", h.Dropped())}, 0
+		return histcheck.Result{Reason: fmt.Sprintf("harness bug: %d ops dropped", h.Dropped())}, 0, 0
 	}
 	hist := h.Ops()
-	return histcheck.Check(hist, 0), len(hist)
+	replayOps := ops
+	if c.soak > 0 {
+		perThread := make(map[int]int)
+		for i := range hist {
+			perThread[hist[i].Thread]++
+		}
+		replayOps = 0
+		for _, n := range perThread {
+			if n > replayOps {
+				replayOps = n
+			}
+		}
+	}
+	return histCheck(c.checker, hist), len(hist), replayOps
 }
 
 // histTorture is the seeded, duration-bounded fuzz driver: rounds rotate
-// through the selected data structures and op profiles until the deadline.
-// Any non-linearizable history fails the torture after a best-effort
-// shrink of the reproducing workload.
+// through the selected data structures and op profiles until the deadline
+// (in soak mode each round is itself a -soak-long recording). Any
+// non-linearizable history fails the torture after a best-effort shrink of
+// the reproducing workload, and the failing configuration is promoted into
+// the seed corpus.
 func histTorture(c histConfig) bool {
 	structures := bench.DSNames
 	if c.ds != "all" {
@@ -155,54 +259,111 @@ func histTorture(c histConfig) bool {
 		}
 		profiles = []histcheck.Profile{p}
 	}
+	mode := "hist"
+	if c.soak > 0 {
+		mode = "soak"
+	}
 	deadline := time.Now().Add(c.dur)
-	rounds, checkedOps, undecided := 0, 0, 0
+	rounds, checkedOps, undecided, relaxed := 0, 0, 0, 0
 	for time.Now().Before(deadline) {
 		dsName := structures[rounds%len(structures)]
 		p := profiles[(rounds/len(structures))%len(profiles)]
 		rs := c.roundSeed(rounds)
-		res, n := histRound(c.tm, dsName, p, c.threads, c.ops, rs)
+		res, n, maxPerThread := histRound(c, dsName, p, c.threads, c.ops, rs)
 		rounds++
 		checkedOps += n
+		relaxed += res.Relaxed
 		if res.LimitHit {
 			undecided++
 			continue
 		}
 		if !res.Ok {
-			fmt.Printf("hist     tm=%-12s VIOLATION round=%d ds=%s profile=%s seed=%d\n  %s\n",
-				c.tm, rounds-1, dsName, p.Name, rs, res.Reason)
-			minimizeHist(c, dsName, p, rs)
+			fmt.Printf("%-8s tm=%-12s VIOLATION round=%d ds=%s profile=%s seed=%d ops=%d\n  %s\n",
+				mode, c.tm, rounds-1, dsName, p.Name, rs, n, res.Reason)
+			// Only genuine non-linearizable verdicts are promoted: a
+			// checker disagreement or a harness bug would sit in the
+			// corpus as an entry the partitioned replay can never re-fire.
+			if strings.HasPrefix(res.Reason, "not linearizable") {
+				writeCorpusEntry(c, dsName, p.Name, maxPerThread, rs, res.Reason)
+			}
+			minimizeHist(c, dsName, p, maxPerThread, rs)
 			return false
 		}
 	}
-	fmt.Printf("hist     tm=%-12s rounds=%-6d ops-checked=%-9d undecided=%-3d violations=0\n",
-		c.tm, rounds, checkedOps, undecided)
+	fmt.Printf("%-8s tm=%-12s rounds=%-6d ops-checked=%-9d undecided=%-3d relaxed=%-4d violations=0\n",
+		mode, c.tm, rounds, checkedOps, undecided, relaxed)
 	return true
+}
+
+// writeCorpusEntry promotes a failing round into the adaptive seed corpus
+// so internal/stmtest replays it as a fixed regression from now on.
+func writeCorpusEntry(c histConfig, dsName, profile string, ops int, seed uint64, reason string) {
+	if c.corpus == "" {
+		return
+	}
+	if ops < 1 {
+		ops = c.ops
+	}
+	entry := struct {
+		TM      string `json:"tm"`
+		DS      string `json:"ds"`
+		Profile string `json:"profile"`
+		Threads int    `json:"threads"`
+		Ops     int    `json:"ops"`
+		Seed    uint64 `json:"seed"`
+		Note    string `json:"note"`
+	}{c.tm, dsName, profile, c.threads, ops, seed, "auto-promoted by stmtorture: " + reason}
+	blob, err := json.MarshalIndent(entry, "", "  ")
+	if err != nil {
+		fmt.Printf("  corpus: marshal failed: %v\n", err)
+		return
+	}
+	if err := os.MkdirAll(c.corpus, 0o755); err != nil {
+		fmt.Printf("  corpus: %v (run from the repo root to promote the seed)\n", err)
+		return
+	}
+	path := filepath.Join(c.corpus,
+		fmt.Sprintf("hist-%s-%s-%s-seed%d.json", c.tm, dsName, profile, seed))
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		fmt.Printf("  corpus: %v\n", err)
+		return
+	}
+	fmt.Printf("  corpus: promoted failing seed to %s\n", path)
 }
 
 // minimizeHist shrinks a failing round — halving ops per thread, then
 // dropping threads — as long as the violation still reproduces (races make
 // this best-effort: each candidate gets a few attempts), and prints the
-// smallest reproducer found.
-func minimizeHist(c histConfig, dsName string, p histcheck.Profile, seed uint64) {
+// smallest reproducer found. Minimization replays at fixed op counts (no
+// soak deadline) so the printed reproducer is a plain, seed-echoing
+// command line; with the partitioned checker the verdict and failure
+// report are deterministic for a given recorded history (stable key order,
+// no map-iteration nondeterminism), though each replay re-races the
+// threads and so re-records its own history.
+func minimizeHist(c histConfig, dsName string, p histcheck.Profile, ops int, seed uint64) {
+	fixed := c
+	fixed.soak = 0
+	if ops < 1 {
+		ops = c.ops
+	}
 	reproduces := func(threads, ops int) bool {
 		for attempt := 0; attempt < 4; attempt++ {
-			res, _ := histRound(c.tm, dsName, p, threads, ops, seed)
+			res, _, _ := histRound(fixed, dsName, p, threads, ops, seed)
 			if !res.Ok && !res.LimitHit {
 				return true
 			}
 		}
 		return false
 	}
-	threads, ops := c.threads, c.ops
+	threads := c.threads
 	for ops > 25 && reproduces(threads, ops/2) {
 		ops /= 2
 	}
 	for threads > 2 && reproduces(threads-1, ops) {
 		threads--
 	}
-	fmt.Printf("  minimized reproducer:\n    go run ./cmd/stmtorture -workload hist -tm %s -ds %s -profile %s -threads %d -ops %d -seed %d -dur 1s\n",
-		c.tm, dsName, p.Name, threads, ops, seed)
+	fmt.Printf("  minimized reproducer (seed %d):\n    go run ./cmd/stmtorture -workload hist -tm %s -ds %s -profile %s -threads %d -ops %d -seed %d -checker %s -dur 1s\n",
+		seed, c.tm, dsName, p.Name, threads, ops, seed, c.checker)
 }
 
 func bank(sys stm.System, stop *atomic.Bool, rep *report, threads int) {

@@ -1,0 +1,39 @@
+package histcheck
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkCheckHistory is the checker-throughput guard CI runs to catch
+// oracle regressions: ops-checked/sec for the partitioned checker at soak
+// sizes, with the monolithic checker at its comfortable size as the
+// baseline. Histories are synthetic (gen_test.go) so the benchmark
+// measures the checker, not a TM.
+func BenchmarkCheckHistory(b *testing.B) {
+	p, _ := ProfileByName("mixed")
+	bench := func(name string, nOps int, check func([]Op, int) Result) {
+		b.Run(fmt.Sprintf("%s/%dops", name, nOps), func(b *testing.B) {
+			r := workload.NewRng(0xbe7c)
+			ops := genHistory(p, 4, nOps, r)
+			if res := check(ops, 0); !res.Ok {
+				b.Fatalf("benchmark history rejected: %s", res.Reason)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res := check(ops, 0); !res.Ok {
+					b.Fatalf("rejected: %s", res.Reason)
+				}
+			}
+			b.StopTimer()
+			opsPerSec := float64(len(ops)) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(opsPerSec, "ops-checked/s")
+		})
+	}
+	bench("monolithic", 2_000, Check)
+	bench("partitioned", 2_000, CheckPartitioned)
+	bench("partitioned", 20_000, CheckPartitioned)
+	bench("partitioned", 100_000, CheckPartitioned)
+}

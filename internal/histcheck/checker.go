@@ -18,6 +18,14 @@ type Result struct {
 	// LimitHit reports that the search gave up at its state budget; the
 	// history is then undecided, not proven non-linearizable.
 	LimitHit bool
+
+	// The remaining fields describe a partitioned run (CheckPartitioned,
+	// perkey.go); the monolithic Check leaves them zero. Keys counts
+	// per-key sub-histories checked, Fragments the quiescent-point
+	// fragments they were cut into, CrossOps the Range/Size ops validated
+	// by the cross-key pass, and Relaxed how many of those were accepted
+	// conservatively because the subset-sum search hit its budget.
+	Keys, Fragments, CrossOps, Relaxed int
 }
 
 // DefaultStateLimit bounds the checker's search. The Wing–Gong search is
@@ -63,13 +71,14 @@ func Check(ops []Op, maxStates int) Result {
 	}
 
 	c := &checker{
-		ops:      sorted,
-		state:    make(map[uint64]uint64, 64),
-		done:     make([]bool, n),
-		bits:     make([]uint64, (n+63)/64),
-		keyBuf:   make([]byte, 0, ((n+63)/64)*8+64*16),
-		failed:   make(map[string]struct{}, 1024),
-		maxState: maxStates,
+		ops:       sorted,
+		state:     make(map[uint64]uint64, 64),
+		done:      make([]bool, n),
+		bits:      make([]uint64, (n+63)/64),
+		keyBuf:    make([]byte, 0, ((n+63)/64)*8+64*16),
+		failed:    make(map[string]struct{}, 1024),
+		maxState:  maxStates,
+		bestDepth: -1, // so a depth-0 failure still records its frontier
 	}
 	ok := c.dfs(0)
 	res := Result{Ok: ok, Explored: c.explored, LimitHit: c.limitHit}

@@ -26,10 +26,17 @@ func rng(lo, hi uint64, count int, sum uint64) Op {
 }
 func size(n int) Op { return Op{Kind: Size, RCount: n} }
 
+// mustOk and mustFail run every deterministic history through BOTH
+// checkers: the monolithic Wing–Gong search and the partitioned per-key
+// one. Every hand-built regression in this file (including the (set, state)
+// memoization one) therefore also gates the partitioned path.
 func mustOk(t *testing.T, ops []Op) {
 	t.Helper()
 	if res := Check(ops, 0); !res.Ok {
 		t.Fatalf("valid history rejected: %s", res.Reason)
+	}
+	if res := CheckPartitioned(ops, 0); !res.Ok {
+		t.Fatalf("valid history rejected by partitioned checker: %s", res.Reason)
 	}
 }
 
@@ -41,6 +48,13 @@ func mustFail(t *testing.T, ops []Op) {
 	}
 	if res.LimitHit {
 		t.Fatalf("checker gave up instead of rejecting: %s", res.Reason)
+	}
+	pres := CheckPartitioned(ops, 0)
+	if pres.Ok {
+		t.Fatal("invalid history accepted by partitioned checker")
+	}
+	if pres.LimitHit {
+		t.Fatalf("partitioned checker gave up instead of rejecting: %s", pres.Reason)
 	}
 }
 

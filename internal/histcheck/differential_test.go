@@ -1,0 +1,85 @@
+package histcheck
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestDifferentialPartitionedVsMonolithic is the contract between the two
+// checkers, exercised on ≥1000 randomized small histories across every
+// profile (including the range- and size-heavy ones) plus a point-only
+// profile:
+//
+//   - linearizable-by-construction histories: both checkers must accept;
+//   - point-op-only histories: verdicts must agree exactly (the per-key
+//     decomposition is exact there, by locality);
+//   - any history: a partitioned rejection implies a monolithic rejection
+//     (the partitioned checker is sound — conservative only in the
+//     accepting direction, on concurrent cross-key queries).
+//
+// Corrupted variants perturb one op's recorded result; the perturbed
+// history may or may not still be linearizable, and the implications above
+// must hold either way.
+func TestDifferentialPartitionedVsMonolithic(t *testing.T) {
+	const rounds = 550 // two histories per round: ≥1100 checked
+	r := workload.NewRng(0xd1ffe4e4)
+	profiles := append(Profiles(),
+		Profile{Name: "points-only", InsertPct: 0.35, DeletePct: 0.35, KeyRange: 6})
+
+	histories, caught, missed := 0, 0, 0
+	for round := 0; round < rounds; round++ {
+		p := profiles[round%len(profiles)]
+		threads := 2 + r.Intn(3)
+		nOps := 30 + r.Intn(90)
+		ops := genHistory(p, threads, nOps, r)
+
+		mono, part := Check(ops, 0), CheckPartitioned(ops, 0)
+		histories++
+		if mono.LimitHit || part.LimitHit {
+			t.Fatalf("round %d: budget tripped on a %d-op history (mono=%v part=%v)",
+				round, len(ops), mono.LimitHit, part.LimitHit)
+		}
+		if !mono.Ok {
+			t.Fatalf("round %d: monolithic rejected a linearizable-by-construction history: %s",
+				round, mono.Reason)
+		}
+		if !part.Ok {
+			t.Fatalf("round %d: partitioned rejected a linearizable-by-construction history: %s",
+				round, part.Reason)
+		}
+
+		bad := corrupt(ops, r)
+		mono, part = Check(bad, 0), CheckPartitioned(bad, 0)
+		histories++
+		if mono.LimitHit || part.LimitHit {
+			continue // undecided histories carry no verdict to compare
+		}
+		if !part.Ok && mono.Ok {
+			t.Fatalf("round %d: partitioned rejected what the monolithic checker accepts (soundness violation): %s",
+				round, part.Reason)
+		}
+		if pointOnly(bad) && mono.Ok != part.Ok {
+			t.Fatalf("round %d: point-only verdict disagreement: mono=%v part=%v (%s | %s)",
+				round, mono.Ok, part.Ok, mono.Reason, part.Reason)
+		}
+		switch {
+		case !mono.Ok && !part.Ok:
+			caught++
+		case !mono.Ok && part.Ok:
+			missed++ // allowed: conservative cross-key acceptance
+		}
+	}
+	if histories < 1000 {
+		t.Fatalf("differential matrix too small: %d histories", histories)
+	}
+	// The partitioned checker must actually catch corruptions, not accept
+	// everything: require it to agree with the monolithic rejection most of
+	// the time (in practice the gap is only concurrent cross-key coupling).
+	if caught == 0 || caught*4 < (caught+missed)*3 {
+		t.Fatalf("partitioned checker too lax: caught %d, missed %d of the monolithic rejections",
+			caught, missed)
+	}
+	t.Logf("differential: %d histories, corruption rejections agreed on %d, conservative-accepted %d",
+		histories, caught, missed)
+}

@@ -2,6 +2,7 @@ package histcheck
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/ds"
 	"repro/internal/stm"
@@ -61,20 +62,36 @@ func Run(sys stm.System, m ds.Map, p Profile, threads, opsPerThread int, seed ui
 // RunHistory is Run returning the full History (for callers that also want
 // Dropped or per-recorder access).
 func RunHistory(sys stm.System, m ds.Map, p Profile, threads, opsPerThread int, seed uint64) *History {
-	h := NewHistory(threads, opsPerThread)
+	return RunHistoryFor(sys, m, p, threads, opsPerThread, seed, 0)
+}
+
+// RunHistoryFor is the soak-mode driver: workers record operations until d
+// elapses, capped at maxOpsPerThread each (the slab size — a worker whose
+// slab fills simply stops early, so nothing is ever dropped). d <= 0 means
+// no deadline: exactly maxOpsPerThread ops per worker, i.e. RunHistory.
+func RunHistoryFor(sys stm.System, m ds.Map, p Profile, threads, maxOpsPerThread int, seed uint64, d time.Duration) *History {
+	h := NewHistory(threads, maxOpsPerThread)
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+	}
 	var wg sync.WaitGroup
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			worker(sys, m, p, h.Recorder(t), opsPerThread, seed^(uint64(t+1)*0x9e3779b97f4a7c15))
+			worker(sys, m, p, h.Recorder(t), maxOpsPerThread, seed^(uint64(t+1)*0x9e3779b97f4a7c15), deadline)
 		}(t)
 	}
 	wg.Wait()
 	return h
 }
 
-func worker(sys stm.System, m ds.Map, p Profile, rec *Recorder, ops int, seed uint64) {
+// deadlineStride is how many ops a soak worker runs between deadline
+// checks; a stride is microseconds of work, so overshoot is negligible.
+const deadlineStride = 32
+
+func worker(sys stm.System, m ds.Map, p Profile, rec *Recorder, ops int, seed uint64, deadline time.Time) {
 	th := sys.Register()
 	defer th.Unregister()
 	r := workload.NewRng(seed)
@@ -83,6 +100,9 @@ func worker(sys stm.System, m ds.Map, p Profile, rec *Recorder, ops int, seed ui
 		dist = workload.NewZipfian(p.KeyRange, 0.9, true)
 	}
 	for i := 0; i < ops; i++ {
+		if !deadline.IsZero() && i%deadlineStride == 0 && time.Now().After(deadline) {
+			return
+		}
 		u := r.Float64()
 		key := dist.Draw(r)
 		switch {

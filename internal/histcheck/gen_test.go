@@ -1,0 +1,158 @@
+package histcheck
+
+import (
+	"repro/internal/workload"
+)
+
+// Synthetic history generation for the differential tests and checker
+// benchmarks: histories with genuinely overlapping windows that are
+// linearizable by construction (every op takes effect at its response
+// tick, so completion order is a witness), generated without driving a
+// real TM — which keeps a 1000-history differential matrix and a 100k-op
+// benchmark corpus cheap and deterministic.
+
+// genHistory simulates threads workers over profile p for nOps completed
+// operations. Each simulation tick either starts an op on an idle thread
+// (stamping Inv) or completes a pending one (executing it against the
+// authoritative sequential map and stamping Res), so windows of different
+// threads interleave arbitrarily while results stay consistent.
+func genHistory(p Profile, threads, nOps int, r *workload.Rng) []Op {
+	state := make(map[uint64]uint64, p.KeyRange)
+	ops := make([]Op, 0, nOps)
+	pend := make([]int, threads) // index into ops, -1 = idle
+	for t := range pend {
+		pend[t] = -1
+	}
+	var dist workload.KeyDist = workload.Uniform{N: p.KeyRange}
+	if p.Zipf {
+		dist = workload.NewZipfian(p.KeyRange, 0.9, true)
+	}
+	tick := uint64(0)
+	started, completed := 0, 0
+	for completed < started || started < nOps {
+		t := r.Intn(threads)
+		tick++
+		if pend[t] < 0 {
+			if started == nOps {
+				continue
+			}
+			op := drawOp(p, dist, r)
+			op.Thread = t
+			op.Inv = tick
+			ops = append(ops, op)
+			pend[t] = len(ops) - 1
+			started++
+			continue
+		}
+		if r.Intn(2) == 0 {
+			continue // let the window stretch
+		}
+		op := &ops[pend[t]]
+		execute(state, op)
+		op.Res = tick
+		pend[t] = -1
+		completed++
+	}
+	return ops
+}
+
+// drawOp picks an operation's kind and arguments from the profile's mix,
+// mirroring the live driver's distribution (driver.go).
+func drawOp(p Profile, dist workload.KeyDist, r *workload.Rng) Op {
+	u := r.Float64()
+	key := dist.Draw(r)
+	switch {
+	case u < p.InsertPct:
+		return Op{Kind: Insert, Key: key, Val: r.Next()%1000 + 1}
+	case u < p.InsertPct+p.DeletePct:
+		return Op{Kind: Delete, Key: key}
+	case u < p.InsertPct+p.DeletePct+p.RangePct:
+		lo, hi := rangeBounds(r, p, key)
+		return Op{Kind: Range, Key: lo, Val: hi}
+	case u < p.InsertPct+p.DeletePct+p.RangePct+p.SizePct:
+		return Op{Kind: Size}
+	default:
+		return Op{Kind: Search, Key: key}
+	}
+}
+
+// execute applies op to the authoritative map and records its results.
+func execute(state map[uint64]uint64, op *Op) {
+	switch op.Kind {
+	case Insert:
+		if _, present := state[op.Key]; present {
+			op.ROK = false
+			return
+		}
+		state[op.Key] = op.Val
+		op.ROK = true
+	case Delete:
+		if _, present := state[op.Key]; !present {
+			op.ROK = false
+			return
+		}
+		delete(state, op.Key)
+		op.ROK = true
+	case Search:
+		v, present := state[op.Key]
+		op.RVal, op.ROK = v, present
+	case Range:
+		for k := range state {
+			if k >= op.Key && k <= op.Val {
+				op.RCount++
+				op.RSum += k
+			}
+		}
+	default: // Size
+		op.RCount = len(state)
+	}
+}
+
+// corrupt returns a copy of ops with one completed op's result perturbed —
+// the kind of wrongness a TM bug would produce. The result may or may not
+// still be linearizable (a flipped result inside a wide window can often
+// be explained), which is exactly what the differential test wants:
+// whatever the truth, the two checkers must relate correctly.
+func corrupt(ops []Op, r *workload.Rng) []Op {
+	out := make([]Op, len(ops))
+	copy(out, ops)
+	op := &out[r.Intn(len(out))]
+	switch op.Kind {
+	case Insert, Delete:
+		op.ROK = !op.ROK
+	case Search:
+		if op.ROK && r.Intn(2) == 0 {
+			op.RVal++
+		} else {
+			op.ROK = !op.ROK
+		}
+	case Range:
+		if r.Intn(2) == 0 {
+			op.RCount++
+			op.RSum += op.Key
+		} else if op.RCount > 0 {
+			op.RCount--
+			op.RSum -= op.Key
+		} else {
+			op.RCount++
+		}
+	default: // Size
+		if r.Intn(2) == 0 || op.RCount == 0 {
+			op.RCount++
+		} else {
+			op.RCount--
+		}
+	}
+	return out
+}
+
+// pointOnly reports whether the history contains no cross-key ops — the
+// regime where the partitioned checker is exact, not just sound.
+func pointOnly(ops []Op) bool {
+	for i := range ops {
+		if ops[i].Kind == Range || ops[i].Kind == Size {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,179 @@
+package histcheck
+
+import "sort"
+
+// This file holds the decomposition layer of the partitioned checker
+// (perkey.go): splitting a full-map history into per-key point-op
+// sub-histories plus cross-key queries, cutting a sub-history into
+// independently checkable fragments at quiescent points (Lowe's
+// just-in-time partitioning), and the per-key presence timelines the
+// cross-key Range/Size consistency pass consumes.
+//
+// Tick coordinates: recorded ticks are unique integers from the history's
+// global clock, and an operation's linearization point lies strictly inside
+// its open real-time window (Inv, Res). Timeline arithmetic therefore runs
+// in *doubled* ticks (t2 = 2·tick), where even values are event instants
+// and odd values are the open gaps just after them; this lets half-open
+// [start2, next start2) segments represent both closed quiescent intervals
+// [maxRes, nextInv] and open fragment spans (minInv, maxRes) without
+// floating point.
+
+// PointsByKey splits a history (any order) into per-key point-op
+// sub-histories and the cross-key Range/Size ops. Keys are returned in
+// ascending order; each sub-history and the cross slice are sorted by
+// invocation tick. Point-op linearizability is compositional over keys
+// (Herlihy–Wing locality: map keys are independent objects), which is what
+// makes checking the sub-histories separately exact.
+func PointsByKey(ops []Op) (keys []uint64, byKey map[uint64][]Op, cross []Op) {
+	byKey = make(map[uint64][]Op)
+	for _, op := range ops {
+		if op.Kind == Range || op.Kind == Size {
+			cross = append(cross, op)
+			continue
+		}
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	keys = make([]uint64, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	// Sub-slices built by scanning already-sorted input stay sorted; the
+	// O(n) check keeps the soak-scale hot path free of redundant sorts.
+	for _, k := range keys {
+		sub := byKey[k]
+		if !sort.SliceIsSorted(sub, func(i, j int) bool { return sub[i].Inv < sub[j].Inv }) {
+			sort.Slice(sub, func(i, j int) bool { return sub[i].Inv < sub[j].Inv })
+		}
+	}
+	if !sort.SliceIsSorted(cross, func(i, j int) bool { return cross[i].Inv < cross[j].Inv }) {
+		sort.Slice(cross, func(i, j int) bool { return cross[i].Inv < cross[j].Inv })
+	}
+	return keys, byKey, cross
+}
+
+// Fragments cuts a sub-history (sorted by invocation tick) at quiescent
+// points: instants with no operation in flight. Scanning in invocation
+// order while tracking the maximum response seen, a cut falls before any op
+// whose invocation exceeds that maximum — every earlier op then
+// real-time-precedes every later one, so a linearization of the whole is
+// exactly a linearization of each fragment in sequence, coupled only
+// through the abstract state carried across the cut (see checkKey).
+func Fragments(ops []Op) [][]Op {
+	var out [][]Op
+	start := 0
+	var maxRes uint64
+	for i, op := range ops {
+		if i > start && op.Inv > maxRes {
+			out = append(out, ops[start:i])
+			start = i
+		}
+		if op.Res > maxRes {
+			maxRes = op.Res
+		}
+	}
+	if start < len(ops) {
+		out = append(out, ops[start:])
+	}
+	return out
+}
+
+// presence classifies what every legal linearization of a key's
+// sub-history agrees on during an interval: the key is definitely in the
+// map, definitely not, or legal linearizations disagree (ambiguous). Only
+// presence matters to the cross-key pass — RangeTx and SizeTx results are
+// key counts and key sums, never values.
+type presence uint8
+
+const (
+	pAbsent presence = iota
+	pPresent
+	pAmbiguous
+)
+
+// tlMark starts a timeline segment: status st holds on [start2, next
+// mark's start2) in doubled ticks.
+type tlMark struct {
+	start2 uint64
+	st     presence
+}
+
+// timeline is one key's presence as a step function over doubled ticks.
+// Keys never touched by a point op have a nil timeline: definitely absent
+// forever (the map starts empty).
+type timeline struct {
+	marks []tlMark
+}
+
+// at returns the presence status at doubled tick t2.
+func (tl *timeline) at(t2 uint64) presence {
+	if tl == nil || len(tl.marks) == 0 {
+		return pAbsent
+	}
+	// Binary search for the last mark at or before t2.
+	lo, hi := 0, len(tl.marks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tl.marks[mid].start2 <= t2 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return pAbsent
+	}
+	return tl.marks[lo-1].st
+}
+
+// push appends a segment, coalescing equal-status neighbours and letting a
+// later mark at the same start overwrite (a zero-width segment).
+func (tl *timeline) push(start2 uint64, st presence) {
+	if n := len(tl.marks); n > 0 {
+		if tl.marks[n-1].start2 == start2 {
+			tl.marks[n-1].st = st
+			if n > 1 && tl.marks[n-2].st == st {
+				tl.marks = tl.marks[:n-1]
+			}
+			return
+		}
+		if tl.marks[n-1].st == st {
+			return
+		}
+	}
+	tl.marks = append(tl.marks, tlMark{start2, st})
+}
+
+// statusOf summarizes a set of per-key states reachable at a quiescent
+// point. The presence component is all that survives into the timeline.
+func statusOf(states map[kstate]struct{}) presence {
+	saw := [2]bool{}
+	for s := range states {
+		if s.present {
+			saw[1] = true
+		} else {
+			saw[0] = true
+		}
+	}
+	switch {
+	case saw[0] && saw[1]:
+		return pAmbiguous
+	case saw[1]:
+		return pPresent
+	default:
+		return pAbsent
+	}
+}
+
+// mutates reports whether a fragment contains an op that changes presence
+// (a successful insert or delete). Mutation-free fragments keep the
+// incoming presence throughout, so their span inherits the surrounding
+// quiescent status instead of going ambiguous.
+func mutates(frag []Op) bool {
+	for i := range frag {
+		if frag[i].ROK && (frag[i].Kind == Insert || frag[i].Kind == Delete) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,134 @@
+package histcheck
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFragmentsCutsAtQuiescentPoints(t *testing.T) {
+	ops := []Op{
+		{Inv: 1, Res: 4},  // overlaps next
+		{Inv: 2, Res: 3},  //
+		{Inv: 5, Res: 6},  // alone
+		{Inv: 7, Res: 12}, // chains: 7-12, 8-9, 10-14
+		{Inv: 8, Res: 9},
+		{Inv: 10, Res: 14},
+	}
+	frags := Fragments(ops)
+	want := [][2]int{{0, 2}, {2, 3}, {3, 6}}
+	if len(frags) != len(want) {
+		t.Fatalf("got %d fragments, want %d", len(frags), len(want))
+	}
+	for i, w := range want {
+		if !reflect.DeepEqual(frags[i], ops[w[0]:w[1]]) {
+			t.Fatalf("fragment %d: got %v, want ops[%d:%d]", i, frags[i], w[0], w[1])
+		}
+	}
+	if got := Fragments(nil); len(got) != 0 {
+		t.Fatalf("empty history produced fragments: %v", got)
+	}
+	if got := Fragments(ops[:1]); len(got) != 1 {
+		t.Fatalf("single op should be one fragment, got %v", got)
+	}
+}
+
+func TestPointsByKeySplitsAndSorts(t *testing.T) {
+	ops := seq(
+		ins(5, 1, true),
+		rng(1, 9, 1, 5),
+		ins(2, 1, true),
+		size(2),
+		del(5, true),
+	)
+	keys, byKey, cross := PointsByKey(ops)
+	if !reflect.DeepEqual(keys, []uint64{2, 5}) {
+		t.Fatalf("keys = %v, want [2 5]", keys)
+	}
+	if len(byKey[5]) != 2 || byKey[5][0].Kind != Insert || byKey[5][1].Kind != Delete {
+		t.Fatalf("key 5 sub-history wrong: %v", byKey[5])
+	}
+	if len(byKey[2]) != 1 || len(cross) != 2 {
+		t.Fatalf("split wrong: key2=%v cross=%v", byKey[2], cross)
+	}
+	if cross[0].Kind != Range || cross[1].Kind != Size {
+		t.Fatalf("cross ops out of invocation order: %v", cross)
+	}
+}
+
+func TestTimelineQuery(t *testing.T) {
+	tl := &timeline{}
+	tl.push(0, pAbsent)
+	tl.push(21, pAmbiguous) // fragment span (10, 20): 2*10+1 .. 2*20
+	tl.push(40, pPresent)   // definite from tick 20 on
+	cases := []struct {
+		t2   uint64
+		want presence
+	}{
+		{0, pAbsent}, {19, pAbsent}, {20, pAbsent}, // closed [.., 10]
+		{21, pAmbiguous}, {30, pAmbiguous}, {39, pAmbiguous},
+		{40, pPresent}, {100, pPresent},
+	}
+	for _, c := range cases {
+		if got := tl.at(c.t2); got != c.want {
+			t.Fatalf("at(%d) = %v, want %v", c.t2, got, c.want)
+		}
+	}
+	// A nil timeline (key never point-touched) is definitely absent.
+	var none *timeline
+	if none.at(5) != pAbsent {
+		t.Fatal("nil timeline not absent")
+	}
+	// Coalescing: pushing the same status twice keeps one mark; a second
+	// push at the same start overwrites.
+	tl2 := &timeline{}
+	tl2.push(0, pAbsent)
+	tl2.push(7, pAbsent)
+	tl2.push(9, pPresent)
+	tl2.push(9, pAmbiguous)
+	if len(tl2.marks) != 2 || tl2.at(9) != pAmbiguous || tl2.at(8) != pAbsent {
+		t.Fatalf("coalescing wrong: %+v", tl2.marks)
+	}
+}
+
+func TestMutatesAndStatusOf(t *testing.T) {
+	if mutates(seq(srch(1, 0, false), ins(1, 2, false), del(1, false))) {
+		t.Fatal("failed ops counted as mutations")
+	}
+	if !mutates(seq(ins(1, 2, true))) || !mutates(seq(del(1, true))) {
+		t.Fatal("successful insert/delete not counted as mutation")
+	}
+	ab := map[kstate]struct{}{{}: {}}
+	pr := map[kstate]struct{}{{present: true, val: 3}: {}}
+	mix := map[kstate]struct{}{{}: {}, {present: true, val: 3}: {}}
+	if statusOf(ab) != pAbsent || statusOf(pr) != pPresent || statusOf(mix) != pAmbiguous {
+		t.Fatal("statusOf misclassifies")
+	}
+}
+
+func TestPickSum(t *testing.T) {
+	budget := subsetBudget
+	amb := []uint64{2, 4, 7}
+	cases := []struct {
+		need   int
+		target uint64
+		want   bool
+	}{
+		{0, 0, true}, {0, 1, false},
+		{1, 4, true}, {1, 5, false},
+		{2, 9, true}, {2, 10, false}, {2, 11, true},
+		{3, 13, true}, {3, 12, false},
+		{4, 13, false},
+	}
+	for _, c := range cases {
+		ok, decided := pickSum(amb, c.need, c.target, &budget)
+		if !decided || ok != c.want {
+			t.Fatalf("pickSum(need=%d, target=%d) = (%v, decided=%v), want %v",
+				c.need, c.target, ok, decided, c.want)
+		}
+	}
+	// Exhausted budget must report undecided, not a verdict.
+	tiny := 1
+	if _, decided := pickSum([]uint64{1, 2, 3, 4, 5}, 3, 9, &tiny); decided {
+		t.Fatal("pickSum claimed a verdict on an exhausted budget")
+	}
+}

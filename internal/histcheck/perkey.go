@@ -1,0 +1,512 @@
+package histcheck
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the P-compositional checker: CheckPartitioned decomposes a
+// full-map history into per-key point-op sub-histories (exact, by
+// linearizability's locality), checks them concurrently — each sub-history
+// cut into fragments at quiescent points with the set of reachable states
+// threaded across every cut — and then validates the cross-key Range/Size
+// results against the per-key presence timelines. The monolithic Check
+// (checker.go) remains the exact reference oracle; this one trades
+// completeness on *concurrent* cross-key queries for near-linear scaling,
+// which is what lets the torture harness check 100k+-op soak histories.
+//
+// Verdict relation to Check: on point-op-only histories the two agree
+// exactly (modulo state budgets). With Range/Size ops, CheckPartitioned is
+// sound but conservative: it never rejects a linearizable history, and a
+// rejection implies Check would also reject; it may accept a history whose
+// cross-key queries are only inconsistent through op-to-op coupling finer
+// than per-instant presence (see checkCross).
+
+// kstate is one key's abstract state: absent, or present with a value.
+type kstate struct {
+	present bool
+	val     uint64
+}
+
+func (s kstate) String() string {
+	if !s.present {
+		return "absent"
+	}
+	return fmt.Sprintf("=%d", s.val)
+}
+
+// CheckPartitioned decides whether ops is linearizable using per-key
+// decomposition and fragment partitioning. maxStates bounds each key's
+// search (<= 0 selects DefaultStateLimit); Result.Explored aggregates over
+// all keys. Key checks run on up to GOMAXPROCS goroutines; the verdict and
+// failure report are deterministic regardless of scheduling (lowest failing
+// key, then earliest failing cross-key op).
+func CheckPartitioned(ops []Op, maxStates int) Result {
+	if maxStates <= 0 {
+		maxStates = DefaultStateLimit
+	}
+	n := len(ops)
+	if n == 0 {
+		return Result{Ok: true}
+	}
+	// History.Ops() already returns invocation order; only re-sort (on a
+	// copy) when a caller hands ops in some other order.
+	sorted := ops
+	if !sort.SliceIsSorted(ops, func(i, j int) bool { return ops[i].Inv < ops[j].Inv }) {
+		sorted = make([]Op, n)
+		copy(sorted, ops)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Inv < sorted[j].Inv })
+	}
+	for i := range sorted {
+		if sorted[i].Res == 0 {
+			return Result{Reason: fmt.Sprintf("incomplete op in history: %s", sorted[i])}
+		}
+	}
+
+	keys, byKey, cross := PointsByKey(sorted)
+	reports := make([]keyReport, len(keys))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(keys) {
+						return
+					}
+					reports[i] = checkKey(keys[i], byKey[keys[i]], maxStates)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, k := range keys {
+			reports[i] = checkKey(k, byKey[k], maxStates)
+		}
+	}
+
+	res := Result{Ok: true, Keys: len(keys), CrossOps: len(cross)}
+	firstFail, firstLimit := -1, -1
+	for i := range reports {
+		res.Explored += reports[i].explored
+		res.Fragments += reports[i].fragments
+		if reports[i].limitHit {
+			if firstLimit < 0 {
+				firstLimit = i
+			}
+		} else if !reports[i].ok && firstFail < 0 {
+			firstFail = i
+		}
+	}
+	if firstFail >= 0 {
+		res.Ok = false
+		res.Reason = reports[firstFail].reason
+		return res
+	}
+	if firstLimit >= 0 {
+		res.Ok = false
+		res.LimitHit = true
+		res.Reason = reports[firstLimit].reason
+		return res
+	}
+
+	cc := crossChecker{keys: keys, tls: make(map[uint64]*timeline, len(keys))}
+	for i := range reports {
+		cc.tls[reports[i].key] = reports[i].tl
+	}
+	for i := range cross {
+		ok, relaxed, detail := cc.check(&cross[i])
+		if relaxed {
+			res.Relaxed++
+		}
+		if !ok {
+			res.Ok = false
+			res.Reason = fmt.Sprintf("not linearizable: cross-key op %s: %s", cross[i], detail)
+			return res
+		}
+	}
+	return res
+}
+
+// keyReport is one per-key sub-history's verdict plus the presence
+// timeline the cross-key pass consumes.
+type keyReport struct {
+	key       uint64
+	ok        bool
+	limitHit  bool
+	reason    string
+	explored  int
+	fragments int
+	tl        *timeline
+}
+
+// checkKey verifies one key's point-op sub-history (sorted by invocation):
+// it cuts the sub-history into fragments at quiescent points and threads
+// the set of reachable states across each cut — fragment i+1 is checked
+// from every state some legal linearization of fragments 1..i can leave.
+// This is exact: across a quiescent cut every earlier op real-time-precedes
+// every later one, so the state set is the only coupling.
+func checkKey(key uint64, sub []Op, maxStates int) keyReport {
+	frags := Fragments(sub)
+	rep := keyReport{key: key, fragments: len(frags), tl: &timeline{}}
+	rep.tl.push(0, pAbsent)
+	states := map[kstate]struct{}{{}: {}}
+	sc := newFragScratch()
+	for fi, frag := range frags {
+		minInv, maxRes := frag[0].Inv, frag[0].Res
+		for i := range frag {
+			if frag[i].Res > maxRes {
+				maxRes = frag[i].Res
+			}
+		}
+		out, limit := sc.run(frag, states, &rep.explored, maxStates)
+		if limit {
+			rep.limitHit = true
+			rep.reason = fmt.Sprintf(
+				"undecided: key %d fragment %d/%d (%d ops, ticks [%d,%d]): state budget %d exhausted",
+				key, fi+1, len(frags), len(frag), minInv, maxRes, maxStates)
+			return rep
+		}
+		if len(out) == 0 {
+			rep.reason = fmt.Sprintf(
+				"not linearizable: key %d fragment %d/%d (%d ops, ticks [%d,%d]) has no linearization from %s; ops: %s",
+				key, fi+1, len(frags), len(frag), minInv, maxRes,
+				statesString(states), describeAll(frag))
+			return rep
+		}
+		st := pAmbiguous
+		if !mutates(frag) {
+			st = statusOf(out)
+		}
+		rep.tl.push(2*minInv+1, st)
+		rep.tl.push(2*maxRes, statusOf(out))
+		states = out
+	}
+	rep.ok = true
+	return rep
+}
+
+// statesString renders a state set deterministically (absent first, then
+// values ascending) for failure reports.
+func statesString(states map[kstate]struct{}) string {
+	list := make([]kstate, 0, len(states))
+	for s := range states {
+		list = append(list, s)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].present != list[j].present {
+			return !list[i].present
+		}
+		return list[i].val < list[j].val
+	})
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, s := range list {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func describeAll(ops []Op) string {
+	idx := make([]int, len(ops))
+	for i := range idx {
+		idx[i] = i
+	}
+	return describe(ops, idx)
+}
+
+// fragScratch holds the per-fragment search state, reused across a key's
+// fragments so a long sub-history allocates O(largest fragment) once.
+type fragScratch struct {
+	ops      []Op
+	done     []bool
+	bits     []uint64
+	first    int
+	keyBuf   []byte
+	visited  map[string]struct{}
+	finals   map[kstate]struct{}
+	candBufs [][]int
+	explored *int
+	maxState int
+	limitHit bool
+}
+
+func newFragScratch() *fragScratch {
+	return &fragScratch{
+		visited: make(map[string]struct{}, 64),
+	}
+}
+
+// run explores every legal linearization of frag from every state in
+// `in`, returning the set of reachable final states (empty means the
+// fragment is not linearizable from any incoming state). The walk is a
+// memoized DFS over configurations (linearized set, state): each is
+// expanded once, so enumerating all completions costs the number of
+// reachable configurations, not the number of interleavings.
+func (f *fragScratch) run(frag []Op, in map[kstate]struct{}, explored *int, maxStates int) (map[kstate]struct{}, bool) {
+	f.ops = frag
+	n := len(frag)
+	if cap(f.done) < n {
+		f.done = make([]bool, n)
+		f.bits = make([]uint64, (n+63)/64)
+	}
+	f.done = f.done[:n]
+	for i := range f.done {
+		f.done[i] = false
+	}
+	f.bits = f.bits[:(n+63)/64]
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.first = 0
+	clear(f.visited)
+	f.finals = make(map[kstate]struct{}, 4)
+	f.explored = explored
+	f.maxState = maxStates
+	f.limitHit = false
+	for st := range in {
+		f.dfs(0, st)
+		if f.limitHit {
+			return nil, true
+		}
+	}
+	return f.finals, false
+}
+
+// configKey encodes (linearized set, state); see memoKey in checker.go for
+// why the state must be part of the key.
+func (f *fragScratch) configKey(st kstate) string {
+	buf := f.keyBuf[:0]
+	for _, w := range f.bits {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	if st.present {
+		buf = append(buf, 1)
+		buf = binary.LittleEndian.AppendUint64(buf, st.val)
+	} else {
+		buf = append(buf, 0)
+	}
+	f.keyBuf = buf
+	return string(buf)
+}
+
+// candidates mirrors checker.candidates for the fragment's op slice.
+func (f *fragScratch) candidates(buf []int) []int {
+	minRes := ^uint64(0)
+	for i := f.first; i < len(f.ops); i++ {
+		if f.done[i] {
+			continue
+		}
+		if f.ops[i].Inv > minRes {
+			break
+		}
+		buf = append(buf, i)
+		if f.ops[i].Res < minRes {
+			minRes = f.ops[i].Res
+		}
+	}
+	return buf
+}
+
+func (f *fragScratch) dfs(depth int, st kstate) {
+	if f.limitHit {
+		return
+	}
+	if depth == len(f.ops) {
+		f.finals[st] = struct{}{}
+		return
+	}
+	key := f.configKey(st)
+	if _, seen := f.visited[key]; seen {
+		return
+	}
+	if len(f.visited) < memoLimit {
+		f.visited[key] = struct{}{}
+	}
+	*f.explored++
+	if *f.explored > f.maxState {
+		f.limitHit = true
+		return
+	}
+	for len(f.candBufs) <= depth {
+		f.candBufs = append(f.candBufs, nil)
+	}
+	cands := f.candidates(f.candBufs[depth][:0])
+	f.candBufs[depth] = cands
+	savedFirst := f.first
+	for _, i := range cands {
+		ns, ok := applyK(st, &f.ops[i])
+		if !ok {
+			continue
+		}
+		f.done[i] = true
+		f.bits[i/64] |= 1 << (i % 64)
+		for f.first < len(f.ops) && f.done[f.first] {
+			f.first++
+		}
+		f.dfs(depth+1, ns)
+		f.done[i] = false
+		f.bits[i/64] &^= 1 << (i % 64)
+		f.first = savedFirst
+		if f.limitHit {
+			return
+		}
+	}
+}
+
+// applyK checks op's recorded result against a single-key state and
+// returns the successor state. Semantics match checker.apply restricted to
+// one key.
+func applyK(st kstate, op *Op) (kstate, bool) {
+	switch op.Kind {
+	case Insert:
+		if op.ROK {
+			if st.present {
+				return st, false
+			}
+			return kstate{present: true, val: op.Val}, true
+		}
+		return st, st.present
+	case Delete:
+		if op.ROK {
+			if !st.present {
+				return st, false
+			}
+			return kstate{}, true
+		}
+		return st, !st.present
+	case Search:
+		return st, st.present == op.ROK && (!st.present || st.val == op.RVal)
+	default:
+		// Range/Size never reach the per-key engine.
+		panic("histcheck: cross-key op in per-key check")
+	}
+}
+
+// subsetBudget bounds each cross-key op's subset-sum search; past it the
+// op is accepted conservatively and counted in Result.Relaxed.
+const subsetBudget = 1 << 14
+
+// crossChecker validates Range/Size results against the per-key presence
+// timelines: the op must have a linearization instant t inside its open
+// window at which some choice of presence for the then-ambiguous keys
+// explains the recorded count (and, for ranges, key sum). Instants need
+// only be sampled once per distinct status vector, i.e. at the window
+// start plus every timeline mark inside the window.
+type crossChecker struct {
+	keys []uint64 // point-touched keys, ascending; others are never present
+	tls  map[uint64]*timeline
+
+	candBuf []uint64
+	ambBuf  []uint64
+}
+
+// keysIn returns the point-touched keys in [lo, hi].
+func (cc *crossChecker) keysIn(lo, hi uint64) []uint64 {
+	if lo > hi {
+		return nil
+	}
+	i := sort.Search(len(cc.keys), func(i int) bool { return cc.keys[i] >= lo })
+	j := sort.Search(len(cc.keys), func(i int) bool { return cc.keys[i] > hi })
+	return cc.keys[i:j]
+}
+
+func (cc *crossChecker) check(op *Op) (ok, relaxed bool, detail string) {
+	lo, hi := op.Key, op.Val
+	if op.Kind == Size {
+		lo, hi = 0, ^uint64(0)
+	}
+	ks := cc.keysIn(lo, hi)
+	inv2, res2 := 2*op.Inv, 2*op.Res
+	cands := append(cc.candBuf[:0], inv2+1)
+	for _, k := range ks {
+		marks := cc.tls[k].marks
+		i := sort.Search(len(marks), func(i int) bool { return marks[i].start2 > inv2+1 })
+		for ; i < len(marks) && marks[i].start2 < res2; i++ {
+			cands = append(cands, marks[i].start2)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	cc.candBuf = cands
+
+	undecided := false
+	for ci, t2 := range cands {
+		if ci > 0 && t2 == cands[ci-1] {
+			continue
+		}
+		defCount, defSum := 0, uint64(0)
+		amb := cc.ambBuf[:0]
+		for _, k := range ks {
+			switch cc.tls[k].at(t2) {
+			case pPresent:
+				defCount++
+				defSum += k
+			case pAmbiguous:
+				amb = append(amb, k)
+			}
+		}
+		cc.ambBuf = amb
+		if ci == 0 {
+			detail = fmt.Sprintf(
+				"no instant in its window explains the result (at window start: %d definitely present, sum %d, %d ambiguous)",
+				defCount, defSum, len(amb))
+		}
+		need := op.RCount - defCount
+		if need < 0 || need > len(amb) {
+			continue
+		}
+		if op.Kind == Size {
+			return true, false, ""
+		}
+		budget := subsetBudget
+		hit, decided := pickSum(amb, need, op.RSum-defSum, &budget)
+		if hit {
+			return true, false, ""
+		}
+		if !decided {
+			undecided = true
+		}
+	}
+	if undecided {
+		// The subset-sum search gave up somewhere: accept conservatively
+		// rather than risk rejecting a linearizable history.
+		return true, true, ""
+	}
+	return false, false, detail
+}
+
+// pickSum reports whether some size-`need` subset of amb sums to target
+// (uint64 wraparound arithmetic, matching how range sums are recorded).
+// budget bounds the recursion; exhausting it returns decided=false.
+func pickSum(amb []uint64, need int, target uint64, budget *int) (ok, decided bool) {
+	if need == 0 {
+		return target == 0, true
+	}
+	if need > len(amb) {
+		return false, true
+	}
+	*budget--
+	if *budget < 0 {
+		return false, false
+	}
+	if ok, dec := pickSum(amb[1:], need-1, target-amb[0], budget); ok || !dec {
+		return ok, dec
+	}
+	return pickSum(amb[1:], need, target, budget)
+}

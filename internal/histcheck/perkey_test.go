@@ -1,0 +1,183 @@
+package histcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ds/abtree"
+	"repro/internal/mvstm"
+)
+
+// mustOkP/mustFailP assert a partitioned verdict specifically (the shared
+// mustOk/mustFail in checker_test.go already run every deterministic
+// history through both checkers).
+func mustOkP(t *testing.T, ops []Op) {
+	t.Helper()
+	if res := CheckPartitioned(ops, 0); !res.Ok {
+		t.Fatalf("partitioned checker rejected a valid history: %s", res.Reason)
+	}
+}
+
+func mustFailP(t *testing.T, ops []Op) {
+	t.Helper()
+	res := CheckPartitioned(ops, 0)
+	if res.Ok {
+		t.Fatal("partitioned checker accepted an invalid history")
+	}
+	if res.LimitHit {
+		t.Fatalf("partitioned checker gave up instead of rejecting: %s", res.Reason)
+	}
+}
+
+// TestPartitionedCrossSubsetSum: two inserts still in flight while a range
+// overlaps both — the range may see any subset of {2, 4}, and the reported
+// (count, sum) pair must correspond to an actual subset, not just a count
+// in range.
+func TestPartitionedCrossSubsetSum(t *testing.T) {
+	base := []Op{
+		{Kind: Insert, Key: 2, Val: 1, ROK: true, Inv: 1, Res: 10},
+		{Kind: Insert, Key: 4, Val: 1, ROK: true, Inv: 2, Res: 11, Thread: 1},
+	}
+	rangeOp := func(count int, sum uint64) []Op {
+		ops := append([]Op(nil), base...)
+		return append(ops, Op{Kind: Range, Key: 1, Val: 9, RCount: count, RSum: sum, Inv: 3, Res: 9, Thread: 2})
+	}
+	mustOkP(t, rangeOp(0, 0))
+	mustOkP(t, rangeOp(1, 2))
+	mustOkP(t, rangeOp(1, 4))
+	mustOkP(t, rangeOp(2, 6))
+	mustFailP(t, rangeOp(1, 3)) // no single key sums to 3
+	mustFailP(t, rangeOp(2, 5)) // both keys sum to 6, not 5
+	mustFailP(t, rangeOp(3, 6)) // only two keys could exist
+}
+
+// TestPartitionedSizeAmbiguity: a size query racing one insert may report
+// either count, but nothing beyond the ambiguity.
+func TestPartitionedSizeAmbiguity(t *testing.T) {
+	base := []Op{
+		{Kind: Insert, Key: 5, Val: 1, ROK: true, Inv: 1, Res: 3},
+		{Kind: Insert, Key: 8, Val: 1, ROK: true, Inv: 4, Res: 10, Thread: 1},
+	}
+	sizeOp := func(n int) []Op {
+		ops := append([]Op(nil), base...)
+		return append(ops, Op{Kind: Size, RCount: n, Inv: 5, Res: 9, Thread: 2})
+	}
+	mustOkP(t, sizeOp(1)) // insert of 8 after the query's instant
+	mustOkP(t, sizeOp(2)) // insert of 8 before it
+	mustFailP(t, sizeOp(0))
+	mustFailP(t, sizeOp(3))
+}
+
+// TestPartitionedResultFields: the partitioned result reports its
+// decomposition.
+func TestPartitionedResultFields(t *testing.T) {
+	ops := seq(
+		ins(1, 10, true),
+		ins(2, 20, true),
+		size(2),
+		del(1, true),
+		rng(0, 9, 1, 2),
+	)
+	res := CheckPartitioned(ops, 0)
+	if !res.Ok {
+		t.Fatalf("rejected: %s", res.Reason)
+	}
+	if res.Keys != 2 || res.CrossOps != 2 || res.Fragments < 3 {
+		t.Fatalf("decomposition fields wrong: %+v", res)
+	}
+	if res.Explored == 0 {
+		t.Fatal("explored not aggregated")
+	}
+}
+
+// TestPartitionedDeterministicReason: with several independently failing
+// keys, the report must always blame the lowest one, regardless of worker
+// scheduling — the reproducer printer depends on this.
+func TestPartitionedDeterministicReason(t *testing.T) {
+	ops := seq(
+		srch(9, 1, true), // found without any insert: fails
+		srch(4, 1, true), // same, lower key
+		ins(6, 2, true),
+	)
+	first := CheckPartitioned(ops, 0)
+	if first.Ok {
+		t.Fatal("accepted an invalid history")
+	}
+	for i := 0; i < 20; i++ {
+		res := CheckPartitioned(ops, 0)
+		if res.Reason != first.Reason {
+			t.Fatalf("reason unstable across runs:\n  %s\n  %s", first.Reason, res.Reason)
+		}
+	}
+	if !strings.Contains(first.Reason, "key 4") {
+		t.Fatalf("reason %q does not blame the lowest failing key", first.Reason)
+	}
+}
+
+// TestPartitionedStateThreading: the reachable-state set must be carried
+// across quiescent cuts — fragment 2 is only explicable from one of the
+// states fragment 1 can end in.
+func TestPartitionedStateThreading(t *testing.T) {
+	// Fragment 1: concurrent delete + two inserts of key 1 (the memo
+	// regression shape); fragment 2 (quiescent gap after tick 12) pins the
+	// survivor.
+	frag1 := []Op{
+		{Kind: Delete, Key: 1, ROK: true, Inv: 1, Res: 10},
+		{Kind: Insert, Key: 1, Val: 7, ROK: true, Inv: 2, Res: 11, Thread: 1},
+		{Kind: Insert, Key: 1, Val: 9, ROK: true, Inv: 3, Res: 12, Thread: 2},
+	}
+	for _, c := range []struct {
+		val uint64
+		ok  bool
+	}{{7, true}, {9, true}, {8, false}} {
+		ops := append([]Op(nil), frag1...)
+		ops = append(ops, Op{Kind: Search, Key: 1, RVal: c.val, ROK: true, Inv: 13, Res: 14, Thread: 2})
+		res := CheckPartitioned(ops, 0)
+		if res.Ok != c.ok {
+			t.Fatalf("search=%d: got ok=%v want %v (%s)", c.val, res.Ok, c.ok, res.Reason)
+		}
+		if res.Fragments != 2 {
+			t.Fatalf("expected 2 fragments, got %d", res.Fragments)
+		}
+	}
+}
+
+// TestPartitionedSoakScale is the acceptance bar for this refactor: a
+// ≥50k-op mixed-profile history recorded from multiverse-eager (minimum
+// versioned-path thresholds, so SI reads and Mode U churn are actually
+// exercised) must check in well under a minute. Under the race detector
+// everything is an order of magnitude slower, so the history shrinks; the
+// full-size bar runs in normal builds and CI.
+func TestPartitionedSoakScale(t *testing.T) {
+	threads, opsPerThread := 4, 12500
+	if raceEnabled {
+		opsPerThread = 1000
+	}
+	p, _ := ProfileByName("mixed")
+	sys := mvstm.New(mvstm.Config{LockTableSize: 1 << 10, K1: 1, K2: 2, K3: 2, S: 2})
+	defer sys.Close()
+	m := abtree.New(4 * int(p.KeyRange))
+	h := RunHistory(sys, m, p, threads, opsPerThread, 20260729)
+	if h.Dropped() != 0 {
+		t.Fatalf("driver dropped %d ops", h.Dropped())
+	}
+	ops := h.Ops()
+	if want := threads * opsPerThread * 9 / 10; len(ops) < want {
+		t.Fatalf("history too small: %d ops, want >= %d", len(ops), want)
+	}
+	start := time.Now()
+	res := CheckPartitioned(ops, 0)
+	elapsed := time.Since(start)
+	if res.LimitHit {
+		t.Fatalf("soak history undecided: %s", res.Reason)
+	}
+	if !res.Ok {
+		t.Fatalf("soak history not linearizable: %s", res.Reason)
+	}
+	t.Logf("checked %d ops in %v (%d keys, %d fragments, %d cross ops, %d relaxed, %d states)",
+		len(ops), elapsed, res.Keys, res.Fragments, res.CrossOps, res.Relaxed, res.Explored)
+	if !raceEnabled && elapsed > 60*time.Second {
+		t.Fatalf("soak check too slow: %v for %d ops (acceptance bar is 60s)", elapsed, len(ops))
+	}
+}

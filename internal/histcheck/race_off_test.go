@@ -1,0 +1,6 @@
+//go:build !race
+
+package histcheck
+
+// raceEnabled scales the soak-size tests down under the race detector.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package histcheck
+
+// raceEnabled scales the soak-size tests down under the race detector,
+// which slows the recording and checking by an order of magnitude.
+const raceEnabled = true

@@ -14,7 +14,11 @@ package stmtest
 
 import (
 	"testing"
+	"time"
 
+	"repro/internal/ds"
+	"repro/internal/ds/abtree"
+	"repro/internal/ds/hashmap"
 	"repro/internal/histcheck"
 	"repro/internal/mvstm"
 	"repro/internal/stm"
@@ -98,6 +102,15 @@ func TestFaultInjectionCaughtByChecker(t *testing.T) {
 	}
 	t.Logf("checker correctly rejected the weakened history: %s", res.Reason)
 
+	// The partitioned per-key checker must reject the same history: the
+	// dirty read is a single-key violation, exactly the regime where the
+	// decomposition is exact.
+	pres := histcheck.CheckPartitioned(ops, 0)
+	if pres.Ok {
+		t.Fatalf("partitioned checker accepted a dirty-read history: %v", ops)
+	}
+	t.Logf("partitioned checker also rejected it: %s", pres.Reason)
+
 	// Control: the same schedule with the consistent snapshot value is
 	// linearizable — it is specifically the uncommitted 2 that is illegal.
 	fixed := make([]histcheck.Op, len(ops))
@@ -110,4 +123,67 @@ func TestFaultInjectionCaughtByChecker(t *testing.T) {
 	if res := histcheck.Check(fixed, 0); !res.Ok {
 		t.Fatalf("control history rejected: %s", res.Reason)
 	}
+	if res := histcheck.CheckPartitioned(fixed, 0); !res.Ok {
+		t.Fatalf("control history rejected by partitioned checker: %s", res.Reason)
+	}
+}
+
+// TestFaultInjectionCaughtAtSoakScale proves the partitioned checker keeps
+// its teeth at the history sizes the monolithic gate could never reach:
+// the fuzzer drives soak-size recorded rounds through the weakened TM
+// (both injected faults live — TBD dirty reads and the lax "<=" traverse)
+// and must catch a non-linearizable history well within the deadline. The
+// eager thresholds (K1=1) put every round on the versioned read path the
+// faults corrupt, and the rounds hammer the combinations whose long
+// read-only scans ride that path hardest — SizeTx sweeping every hashmap
+// bucket and RangeTx sweeping the (a,b)-tree — interleaved with the
+// skewed point mix that feeds the version lists.
+func TestFaultInjectionCaughtAtSoakScale(t *testing.T) {
+	if !mvstm.FaultInjected {
+		t.Fatal("built without the mvstmfault tag")
+	}
+	threads, opsPerThread := 4, 1000
+	if raceEnabled {
+		opsPerThread = 400
+	}
+	// The structures are sized like stmtorture's rounds (capacity
+	// 4·threads·ops, hashmap buckets 10× that): the resulting
+	// full-structure SizeTx/RangeTx scans are long versioned read-only
+	// transactions, which is precisely the tear window the faults open.
+	// Shrinking the bucket array by sizing to the key range instead makes
+	// the faults fire orders of magnitude more rarely.
+	capacity := 4 * threads * opsPerThread
+	sizeHeavy, _ := histcheck.ProfileByName("size-heavy")
+	rangeHeavy, _ := histcheck.ProfileByName("range-heavy")
+	rounds := []struct {
+		p  histcheck.Profile
+		ds func() ds.Map
+	}{
+		{sizeHeavy, func() ds.Map { return hashmap.New(10*capacity, capacity) }},
+		{rangeHeavy, func() ds.Map { return abtree.New(capacity) }},
+	}
+	deadline := time.Now().Add(240 * time.Second)
+	checked := 0
+	for round := 0; time.Now().Before(deadline); round++ {
+		rc := rounds[round%len(rounds)]
+		sys := mvstm.New(mvstm.Config{LockTableSize: 1 << 16, K1: 1, K2: 2, K3: 2, S: 2})
+		m := rc.ds()
+		h := histcheck.RunHistory(sys, m, rc.p, threads, opsPerThread, uint64(round)*0x9e3779b97f4a7c15+1)
+		sys.Close()
+		if h.Dropped() != 0 {
+			t.Fatalf("recorder dropped %d ops", h.Dropped())
+		}
+		ops := h.Ops()
+		checked += len(ops)
+		res := histcheck.CheckPartitioned(ops, 0)
+		if res.LimitHit {
+			continue
+		}
+		if !res.Ok {
+			t.Logf("fuzzer caught the injected fault after %d soak rounds (%d ops checked): %s",
+				round+1, checked, res.Reason)
+			return
+		}
+	}
+	t.Fatalf("fuzzer failed to catch the injected faults at soak scale (%d ops checked)", checked)
 }

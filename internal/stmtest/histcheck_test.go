@@ -37,11 +37,19 @@ func dsFactories() []struct {
 // that corrupts one range result fails the run. Profiles rotate across the
 // matrix so every distribution is exercised without multiplying the test
 // count.
+//
+// The matrix runs the partitioned P-compositional checker
+// (histcheck.CheckPartitioned), whose near-linear scaling is what allows
+// op budgets 50× the old monolithic gate — long enough for multiverse-eager
+// to ride through Mode U ↔ Q transitions mid-history rather than probing a
+// single regime. The monolithic checker stays differential-tested against
+// the partitioned one in internal/histcheck.
 func TestHistoryLinearizable(t *testing.T) {
-	const (
-		threads      = 3
-		opsPerThread = 250
-	)
+	const threads = 3
+	opsPerThread := 12500 // 50× the pre-partitioning budget of 250
+	if raceEnabled {
+		opsPerThread = 500
+	}
 	profiles := histcheck.Profiles()
 	combo := 0
 	for _, f := range All() {
@@ -58,7 +66,7 @@ func TestHistoryLinearizable(t *testing.T) {
 					t.Fatalf("recorder dropped %d ops", h.Dropped())
 				}
 				ops := h.Ops()
-				res := histcheck.Check(ops, 0)
+				res := histcheck.CheckPartitioned(ops, 0)
 				if res.LimitHit {
 					t.Fatalf("checker inconclusive on %d ops: %s", len(ops), res.Reason)
 				}

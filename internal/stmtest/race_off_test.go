@@ -1,0 +1,7 @@
+//go:build !race
+
+package stmtest
+
+// raceEnabled scales the soak-size history matrix down under the race
+// detector.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package stmtest
+
+// raceEnabled scales the soak-size history matrix down under the race
+// detector, which slows recording and checking by an order of magnitude.
+const raceEnabled = true
