@@ -26,13 +26,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (fig1, fig6..fig21, tab1, ablation) or 'all'")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		tms     = flag.String("tm", strings.Join(bench.TMNames, ","), "comma-separated TMs to compare")
-		prefill = flag.Int("prefill", 0, "prefill size (default: quick scale)")
-		dur     = flag.Duration("dur", 0, "measurement duration per point")
-		threads = flag.String("threads", "", "comma-separated worker thread counts")
-		trials  = flag.Int("trials", 0, "trials per point (paper: 5)")
+		exp      = flag.String("exp", "", "experiment id (fig1, fig6..fig21, tab1, ablation, shards) or 'all'")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		tms      = flag.String("tm", strings.Join(bench.TMNames, ","), "comma-separated TMs to compare")
+		prefill  = flag.Int("prefill", 0, "prefill size (default: quick scale)")
+		dur      = flag.Duration("dur", 0, "measurement duration per point")
+		threads  = flag.String("threads", "", "comma-separated worker thread counts")
+		trials   = flag.Int("trials", 0, "trials per point (paper: 5)")
+		shards   = flag.String("shards", "", "comma-separated shard counts for -exp shards (default 1,2,4,8)")
+		jsonPath = flag.String("json", "", "also emit one machine-readable JSON record per run to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -67,6 +69,30 @@ func main() {
 			}
 			scale.Threads = append(scale.Threads, n)
 		}
+	}
+	if *shards != "" {
+		scale.Shards = nil
+		for _, part := range strings.Split(*shards, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -shards entry %q\n", part)
+				os.Exit(2)
+			}
+			scale.Shards = append(scale.Shards, n)
+		}
+	}
+	if *jsonPath != "" {
+		sink := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-json: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			sink = f
+		}
+		bench.EmitJSON(sink)
 	}
 	tmList := strings.Split(*tms, ",")
 

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -72,6 +73,7 @@ func main() {
 	soak := flag.Duration("soak", 0, "hist: record one duration-bounded long history per round instead of fixed-size rounds")
 	checker := flag.String("checker", "partitioned", "hist: partitioned, monolithic, or both (compare verdicts)")
 	corpus := flag.String("corpus", "testdata/seeds", "hist: write failing configurations here for stmtest replay (empty = off)")
+	minModeSw := flag.Uint64("min-mode-switches", 0, "hist: fail unless the TM performed at least this many mode transitions across all rounds (soak guard: a Mode U ↔ Q storm that silently stops transitioning must fail the job)")
 	flag.Parse()
 
 	switch *checker {
@@ -79,6 +81,16 @@ func main() {
 	default:
 		fmt.Printf("unknown -checker %q (want partitioned, monolithic, or both)\n", *checker)
 		os.Exit(2)
+	}
+
+	// On machines with fewer cores than torture threads, goroutines only
+	// interleave at yield points and long transactions almost never race —
+	// no conflicts, no versioned-path escalation, no mode storms (the same
+	// rationale as the bench harness). Oversubscribing GOMAXPROCS restores
+	// mid-transaction preemption, making the torture (and the
+	// -min-mode-switches guard) meaningful regardless of runner size.
+	if want := *threads + 1; runtime.GOMAXPROCS(0) < want {
+		runtime.GOMAXPROCS(want)
 	}
 
 	run := func(name string, fn func(sys stm.System, stop *atomic.Bool, rep *report)) bool {
@@ -124,6 +136,7 @@ func main() {
 			tm: *tm, ds: *dsName, profile: *profName,
 			threads: *threads, ops: ops, seed: *seed, dur: *dur,
 			soak: *soak, checker: *checker, corpus: *corpus,
+			minModeSwitches: *minModeSw,
 		}
 		ok = histTorture(cfg) && ok
 	}
@@ -144,6 +157,7 @@ type histConfig struct {
 	soak            time.Duration // > 0: duration-bounded long histories
 	checker         string        // partitioned, monolithic, both
 	corpus          string        // failing-seed corpus dir ("" = off)
+	minModeSwitches uint64        // fail if total mode transitions fall below this
 }
 
 // roundSeed derives round r's seed so that a reproducer run (-seed <failing
@@ -198,7 +212,7 @@ func histCheck(checker string, hist []histcheck.Op) histcheck.Result {
 // rounds (discarded ops consume attempts and RNG draws too), and the
 // largest per-thread recorded count for soak rounds, where the deadline —
 // not the budget — decided the length.
-func histRound(c histConfig, dsName string, p histcheck.Profile, threads, ops int, seed uint64) (histcheck.Result, int, int) {
+func histRound(c histConfig, dsName string, p histcheck.Profile, threads, ops int, seed uint64) (histcheck.Result, int, int, stm.Stats) {
 	sys := bench.NewTM(c.tm, 1<<16)
 	defer sys.Close()
 	capacity := 4 * threads * ops
@@ -211,8 +225,9 @@ func histRound(c histConfig, dsName string, p histcheck.Profile, threads, ops in
 	}
 	m := bench.NewDS(dsName, capacity)
 	h := histcheck.RunHistoryFor(sys, m, p, threads, ops, seed, c.soak)
+	st := sys.Stats()
 	if h.Dropped() != 0 {
-		return histcheck.Result{Reason: fmt.Sprintf("harness bug: %d ops dropped", h.Dropped())}, 0, 0
+		return histcheck.Result{Reason: fmt.Sprintf("harness bug: %d ops dropped", h.Dropped())}, 0, 0, st
 	}
 	hist := h.Ops()
 	replayOps := ops
@@ -228,7 +243,7 @@ func histRound(c histConfig, dsName string, p histcheck.Profile, threads, ops in
 			}
 		}
 	}
-	return histCheck(c.checker, hist), len(hist), replayOps
+	return histCheck(c.checker, hist), len(hist), replayOps, st
 }
 
 // histTorture is the seeded, duration-bounded fuzz driver: rounds rotate
@@ -265,14 +280,16 @@ func histTorture(c histConfig) bool {
 	}
 	deadline := time.Now().Add(c.dur)
 	rounds, checkedOps, undecided, relaxed := 0, 0, 0, 0
+	var modeSwitches uint64
 	for time.Now().Before(deadline) {
 		dsName := structures[rounds%len(structures)]
 		p := profiles[(rounds/len(structures))%len(profiles)]
 		rs := c.roundSeed(rounds)
-		res, n, maxPerThread := histRound(c, dsName, p, c.threads, c.ops, rs)
+		res, n, maxPerThread, st := histRound(c, dsName, p, c.threads, c.ops, rs)
 		rounds++
 		checkedOps += n
 		relaxed += res.Relaxed
+		modeSwitches += st.ModeSwitches
 		if res.LimitHit {
 			undecided++
 			continue
@@ -290,8 +307,16 @@ func histTorture(c histConfig) bool {
 			return false
 		}
 	}
-	fmt.Printf("%-8s tm=%-12s rounds=%-6d ops-checked=%-9d undecided=%-3d relaxed=%-4d violations=0\n",
-		mode, c.tm, rounds, checkedOps, undecided, relaxed)
+	fmt.Printf("%-8s tm=%-12s rounds=%-6d ops-checked=%-9d undecided=%-3d relaxed=%-4d mode-switches=%-6d violations=0\n",
+		mode, c.tm, rounds, checkedOps, undecided, relaxed, modeSwitches)
+	if c.minModeSwitches > 0 && modeSwitches < c.minModeSwitches {
+		// The soak exists to storm Mode U ↔ Q transitions; a run that
+		// stopped transitioning is not testing what it claims to test
+		// (e.g. a CAS heuristic regression pinning the TM in one mode).
+		fmt.Printf("%-8s tm=%-12s MODE-TRANSITION STALL: %d mode switches over %d rounds (want >= %d)\n",
+			mode, c.tm, modeSwitches, rounds, c.minModeSwitches)
+		return false
+	}
 	return true
 }
 
@@ -348,7 +373,7 @@ func minimizeHist(c histConfig, dsName string, p histcheck.Profile, ops int, see
 	}
 	reproduces := func(threads, ops int) bool {
 		for attempt := 0; attempt < 4; attempt++ {
-			res, _, _ := histRound(fixed, dsName, p, threads, ops, seed)
+			res, _, _, _ := histRound(fixed, dsName, p, threads, ops, seed)
 			if !res.Ok && !res.LimitHit {
 				return true
 			}

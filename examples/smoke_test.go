@@ -23,6 +23,7 @@ func TestExamplesBuildAndRun(t *testing.T) {
 		{"bank", []string{"-dur", "150ms", "-accounts", "256", "-workers", "2"}},
 		{"analytics", []string{"-dur", "150ms", "-keys", "2000", "-writers", "2"}},
 		{"snapshotiso", nil}, // fixed ~1s internal run
+		{"shardedbank", []string{"-dur", "300ms", "-accounts", "256", "-workers", "2", "-shards", "4"}},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {

@@ -8,11 +8,13 @@ package bench
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/ds"
+	"repro/internal/shard"
 	"repro/internal/stm"
 	"repro/internal/workload"
 )
@@ -41,6 +43,10 @@ type Config struct {
 	// SizeQueries replaces range queries with full size queries (the
 	// paper's hashmap SQ workload).
 	SizeQueries bool
+	// Shards > 1 runs the workload over an internal/shard composition of
+	// that many TM instances (hash-partitioned map, 2PC-free cross-shard
+	// snapshot queries) instead of a single System. 0 or 1 = unsharded.
+	Shards int
 }
 
 func (c *Config) fill() {
@@ -93,6 +99,12 @@ type Result struct {
 	NumGC        uint64        // GC cycles during the window (summed over trials)
 	GCPauseTotal time.Duration // total stop-the-world pause (summed over trials)
 	Series       []Sample
+	// Sharded runs only (Config.Shards > 1): per-shard counter deltas
+	// over the last trial's window and the final shared-clock value —
+	// the clock moves on aborts and snapshot freezes, so its delta is a
+	// direct read on cross-shard coordination traffic.
+	ShardStats []stm.Stats
+	ClockEnd   uint64
 }
 
 // Run executes the configured benchmark and returns averaged results.
@@ -119,6 +131,8 @@ func Run(cfg Config) Result {
 		}
 		if trial == cfg.Trials-1 {
 			agg.Series = r.Series
+			agg.ShardStats = r.ShardStats
+			agg.ClockEnd = r.ClockEnd
 		}
 	}
 	n := float64(cfg.Trials)
@@ -132,6 +146,7 @@ func Run(cfg Config) Result {
 		// (joules ∝ CPU-seconds at fixed package power).
 		agg.OpsPerCPUSec = agg.OpsPerSec * cfg.Duration.Seconds() / agg.CPUSeconds
 	}
+	emitJSON(agg)
 	return agg
 }
 
@@ -158,12 +173,27 @@ func runTrial(cfg Config, seed uint64) Result {
 		runtime.GOMAXPROCS(want)
 		defer runtime.GOMAXPROCS(prev)
 	}
-	sys := NewTM(cfg.TM, cfg.LockTable)
+	var (
+		sys     stm.System
+		m       ds.Map
+		sharded *shard.System
+	)
+	if cfg.Shards > 1 {
+		sharded = NewShardedTM(cfg.TM, cfg.Shards, cfg.LockTable)
+		sys = sharded
+		m = NewShardedDS(sharded, cfg.DS, max(cfg.Prefill*2, 1024))
+	} else {
+		sys = NewTM(cfg.TM, cfg.LockTable)
+		m = NewDS(cfg.DS, max(cfg.Prefill*2, 1024))
+	}
 	defer sys.Close()
-	m := NewDS(cfg.DS, max(cfg.Prefill*2, 1024))
 	prefill(sys, m, cfg, seed)
 
 	statsBefore := sys.Stats()
+	var shardBefore []stm.Stats
+	if sharded != nil {
+		shardBefore = sharded.ShardStats()
+	}
 	cpuBefore := processCPUTime()
 
 	var (
@@ -365,6 +395,16 @@ func runTrial(cfg Config, seed uint64) Result {
 	if res.CPUSeconds > 0 {
 		res.OpsPerCPUSec = res.OpsPerSec / res.CPUSeconds * elapsed
 	}
+	if sharded != nil {
+		after := sharded.ShardStats()
+		res.ShardStats = make([]stm.Stats, len(after))
+		for i := range after {
+			d := after[i]
+			d.Sub(shardBefore[i])
+			res.ShardStats[i] = d
+		}
+		res.ClockEnd = sharded.ClockValue()
+	}
 	return res
 }
 
@@ -412,8 +452,28 @@ func rqSpan(cfg Config) uint64 {
 
 // String renders a result row.
 func (r Result) String() string {
+	tm := r.Config.TM
+	if r.Config.Shards > 1 {
+		tm = fmt.Sprintf("%s[%dsh]", tm, r.Config.Shards)
+	}
 	return fmt.Sprintf("%-24s %-8s thr=%-3d upd=%-2d ops/s=%-12.0f rq/s=%-8.2f commits=%-9d aborts=%-9d starved=%-6d heapKB=%-8d ops/cpu-s=%-12.0f allocs/op=%-8.2f B/op=%-8.1f gc=%-4d gcPause=%s",
-		r.Config.TM, r.Config.DS, r.Config.Threads, r.Config.Updaters,
+		tm, r.Config.DS, r.Config.Threads, r.Config.Updaters,
 		r.OpsPerSec, r.RQsPerSec, r.Commits, r.Aborts, r.Starved, r.MaxHeapKB, r.OpsPerCPUSec,
 		r.AllocsPerOp, r.BytesPerOp, r.NumGC, r.GCPauseTotal)
+}
+
+// ShardRows renders the per-shard observability lines of a sharded run:
+// each shard's commit/abort traffic and Multiverse versioning activity over
+// the last trial's window, plus the shared clock's final value.
+func (r Result) ShardRows() string {
+	if len(r.ShardStats) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "    shared clock end=%d (moves on aborts and snapshot freezes)\n", r.ClockEnd)
+	for i, st := range r.ShardStats {
+		fmt.Fprintf(&b, "    shard %-2d commits=%-9d aborts=%-7d versioned=%-7d modeSw=%-4d unversion=%-5d addrVer=%d\n",
+			i, st.Commits, st.Aborts, st.VersionedCommits, st.ModeSwitches, st.Unversionings, st.AddrVersioned)
+	}
+	return b.String()
 }

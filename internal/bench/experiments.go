@@ -19,6 +19,9 @@ type Scale struct {
 	Duration time.Duration
 	Threads  []int
 	Trials   int
+	// Shards is the shard-count grid of the "shards" experiment
+	// (cmd/multibench -shards).
+	Shards []int
 }
 
 // Quick returns the default scaled-down experiment size.
@@ -28,6 +31,7 @@ func Quick() Scale {
 		Duration: 150 * time.Millisecond,
 		Threads:  []int{1, 2, 4, 8},
 		Trials:   1,
+		Shards:   []int{1, 2, 4, 8},
 	}
 }
 
@@ -269,6 +273,58 @@ func Experiments() map[string]Experiment {
 					sys.Close()
 					opsPerSec := float64(counts.Total()) / (s.Duration * 4).Seconds()
 					fmt.Fprintf(w, "%-24s thr=%-3d tpm=%-10.0f %v\n", tm, th, opsPerSec, counts)
+				}
+			}
+		},
+	})
+
+	add(Experiment{
+		ID:    "shards",
+		Title: "sharded multi-instance TM: update-heavy point-op scaling and cross-shard snapshot queries vs shard count",
+		Run: func(s Scale, tms []string, w io.Writer) {
+			// Only the snapshot-capable TMs have sharded backends; default
+			// to the production pairing when the -tm list has none.
+			capable := map[string]bool{"multiverse": true, "multiverse-eager": true, "dctl": true, "tl2": true}
+			var shardTMs []string
+			for _, tm := range tms {
+				if capable[tm] {
+					shardTMs = append(shardTMs, tm)
+				}
+			}
+			if len(shardTMs) == 0 {
+				shardTMs = []string{"multiverse"}
+			}
+			threads := s.Threads[len(s.Threads)-1]
+			counts := s.Shards
+			if len(counts) == 0 {
+				counts = []int{1, 2, 4, 8}
+			}
+			for _, tm := range shardTMs {
+				// The acceptance workload: update-heavy point ops, where
+				// every transaction binds to one shard and the win is N
+				// independent lock tables and clocks of contention.
+				fmt.Fprintf(w, "--- shards: %s hashmap 50%% ins / 50%% del point ops, thr=%d ---\n", tm, threads)
+				for _, n := range counts {
+					res := Run(Config{
+						TM: tm, DS: "hashmap", Threads: threads, Shards: n,
+						Mix:     mixFor(50, 50, 0, 0),
+						Prefill: s.Prefill, Duration: s.Duration, Trials: s.Trials,
+					})
+					fmt.Fprintln(w, res)
+					fmt.Fprint(w, res.ShardRows())
+				}
+				// Cross-shard snapshot pressure: mixed point ops plus full
+				// size queries, each answered at one frozen timestamp
+				// across all shards.
+				fmt.Fprintf(w, "--- shards: %s hashmap mixed + 0.5%% cross-shard SQ, thr=%d ---\n", tm, threads)
+				for _, n := range counts {
+					res := Run(Config{
+						TM: tm, DS: "hashmap", Threads: threads, Shards: n,
+						Mix: mixFor(10, 10, 0.5, 0), SizeQueries: true,
+						Prefill: s.Prefill, Duration: s.Duration, Trials: s.Trials,
+					})
+					fmt.Fprintln(w, res)
+					fmt.Fprint(w, res.ShardRows())
 				}
 			}
 		},

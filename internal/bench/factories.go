@@ -11,6 +11,7 @@ import (
 	"repro/internal/ds/hashmap"
 	"repro/internal/mvstm"
 	"repro/internal/norec"
+	"repro/internal/shard"
 	"repro/internal/stm"
 	"repro/internal/tinystm"
 	"repro/internal/tl2"
@@ -56,6 +57,43 @@ func NewTM(name string, lockTable int) stm.System {
 	default:
 		panic(fmt.Sprintf("bench: unknown TM %q", name))
 	}
+}
+
+// NewShardedTM composes shards instances of the named TM behind one
+// internal/shard System. The lock-table budget is split across shards
+// (floored at 1<<12) so shard-count sweeps compare at roughly constant
+// total table memory; what scales with the shard count is the number of
+// independent clocks-of-contention — lock tables, VLTs, announcement
+// arrays, background threads — not the bytes.
+func NewShardedTM(name string, shards, lockTable int) *shard.System {
+	per := lockTable / shards
+	if per < 1<<12 {
+		per = 1 << 12
+	}
+	var backend shard.Backend
+	switch name {
+	case "multiverse":
+		backend = shard.Multiverse(mvstm.Config{LockTableSize: per})
+	case "multiverse-eager":
+		backend = shard.Multiverse(mvstm.Config{LockTableSize: per, K1: 1, K2: 2, K3: 2, S: 2})
+	case "dctl":
+		backend = shard.DCTL(dctl.Config{LockTableSize: per})
+	case "tl2":
+		backend = shard.TL2(tl2.Config{LockTableSize: per, MaxAttempts: baselineMaxAttempts})
+	default:
+		panic(fmt.Sprintf("bench: TM %q has no sharded backend (want multiverse, multiverse-eager, dctl or tl2)", name))
+	}
+	return shard.New(shard.Config{Shards: shards, Backend: backend})
+}
+
+// NewShardedDS builds the hash-partitioned counterpart of NewDS over sys,
+// dividing the capacity hint across shards.
+func NewShardedDS(sys *shard.System, name string, capacity int) ds.Map {
+	per := capacity / sys.NumShards()
+	if per < 1024 {
+		per = 1024
+	}
+	return shard.NewMap(sys, func(int) ds.Map { return NewDS(name, per) })
 }
 
 // DSNames lists the evaluated data structures.

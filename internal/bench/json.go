@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// RunRecord is the machine-readable form of one Result, emitted alongside
+// the human table when EmitJSON is enabled (cmd/multibench -json). One JSON
+// object per line per run, so bench trajectories can be tracked across PRs
+// by any line-oriented tooling.
+type RunRecord struct {
+	TM          string  `json:"tm"`
+	DS          string  `json:"ds"`
+	Threads     int     `json:"threads"`
+	Updaters    int     `json:"updaters"`
+	Shards      int     `json:"shards"`
+	Prefill     int     `json:"prefill"`
+	DurationSec float64 `json:"duration_sec"`
+	Trials      int     `json:"trials"`
+	Zipf        bool    `json:"zipf,omitempty"`
+	SizeQueries bool    `json:"size_queries,omitempty"`
+
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	RQsPerSec    float64 `json:"rqs_per_sec"`
+	Commits      uint64  `json:"commits"`
+	Aborts       uint64  `json:"aborts"`
+	Starved      uint64  `json:"starved"`
+	Versioned    uint64  `json:"versioned_commits"`
+	ModeSwitches uint64  `json:"mode_switches"`
+	MaxHeapKB    uint64  `json:"max_heap_kb"`
+	OpsPerCPUSec float64 `json:"ops_per_cpu_sec"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	NumGC        uint64  `json:"num_gc"`
+	GCPauseNs    int64   `json:"gc_pause_ns"`
+	ClockEnd     uint64  `json:"clock_end,omitempty"`
+
+	// Per-shard commit/abort splits (sharded runs, last trial's window).
+	ShardCommits []uint64 `json:"shard_commits,omitempty"`
+	ShardAborts  []uint64 `json:"shard_aborts,omitempty"`
+}
+
+var jsonEnc *json.Encoder
+
+// EmitJSON mirrors every subsequent Run's result to w as one JSON object
+// per line. Run is driven serially by cmd/multibench, so no locking.
+func EmitJSON(w io.Writer) { jsonEnc = json.NewEncoder(w) }
+
+func emitJSON(r Result) {
+	if jsonEnc == nil {
+		return
+	}
+	shards := r.Config.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	rec := RunRecord{
+		TM:          r.Config.TM,
+		DS:          r.Config.DS,
+		Threads:     r.Config.Threads,
+		Updaters:    r.Config.Updaters,
+		Shards:      shards,
+		Prefill:     r.Config.Prefill,
+		DurationSec: r.Config.Duration.Seconds(),
+		Trials:      r.Config.Trials,
+		Zipf:        r.Config.Zipf,
+		SizeQueries: r.Config.SizeQueries,
+
+		OpsPerSec:    r.OpsPerSec,
+		RQsPerSec:    r.RQsPerSec,
+		Commits:      r.Commits,
+		Aborts:       r.Aborts,
+		Starved:      r.Starved,
+		Versioned:    r.Versioned,
+		ModeSwitches: r.ModeSwitches,
+		MaxHeapKB:    r.MaxHeapKB,
+		OpsPerCPUSec: r.OpsPerCPUSec,
+		AllocsPerOp:  r.AllocsPerOp,
+		BytesPerOp:   r.BytesPerOp,
+		NumGC:        r.NumGC,
+		GCPauseNs:    r.GCPauseTotal.Nanoseconds(),
+		ClockEnd:     r.ClockEnd,
+	}
+	for _, st := range r.ShardStats {
+		rec.ShardCommits = append(rec.ShardCommits, st.Commits)
+		rec.ShardAborts = append(rec.ShardAborts, st.Aborts)
+	}
+	jsonEnc.Encode(rec) //nolint:errcheck // best-effort sink, like the table writer
+}

@@ -25,6 +25,10 @@ type Config struct {
 	// falls back to the irrevocable starvation-free path. The paper's
 	// evaluation uses 100. Default 100.
 	IrrevocableAfter int
+	// Clock, when non-nil, is an externally owned deferred clock shared
+	// with other TM instances (internal/shard). The owner must have
+	// initialized it to a non-zero value. nil gives a private clock.
+	Clock *gclock.Clock
 }
 
 func (c *Config) fill() {
@@ -39,7 +43,7 @@ func (c *Config) fill() {
 // System is a DCTL instance.
 type System struct {
 	cfg   Config
-	clock gclock.Clock
+	clock *gclock.Clock
 	locks *vlock.Table
 	ebr   *ebr.Domain
 	reg   stm.Registry
@@ -52,7 +56,12 @@ type System struct {
 func New(cfg Config) *System {
 	cfg.fill()
 	s := &System{cfg: cfg, locks: vlock.NewTable(cfg.LockTableSize), ebr: ebr.NewDomain()}
-	s.clock.Set(1)
+	if cfg.Clock != nil {
+		s.clock = cfg.Clock // shared; never reset (siblings may have advanced it)
+	} else {
+		s.clock = new(gclock.Clock)
+		s.clock.Set(1)
+	}
 	return s
 }
 
@@ -111,6 +120,48 @@ func (t *thread) ReadOnly(fn func(stm.Txn)) bool { return t.run(fn, true) }
 
 // Unregister implements stm.Thread.
 func (t *thread) Unregister() { t.ebr.Unregister() }
+
+// snapshotAttempts bounds SnapshotAt retries; see the tl2 analogue — DCTL
+// also keeps no versions, so pinned-clock aborts are usually permanent.
+const snapshotAttempts = 3
+
+// SnapshotAt implements stm.SnapshotThread: a read-only transaction with
+// its read clock pinned at ts, observing exactly the writes whose commit
+// clock is strictly below ts (validate requires version < rClock). DCTL
+// keeps no versions, so the snapshot starves once any address the body
+// reads has been overwritten at or above ts; unlike Atomic/ReadOnly there
+// is no irrevocable fallback — irrevocability cannot serve a read in the
+// past — so SnapshotAt reports false instead.
+func (t *thread) SnapshotAt(ts uint64, fn func(stm.Txn)) bool {
+	tx := &t.txn
+	for attempt := 1; ; attempt++ {
+		tx.begin(true, false)
+		tx.rClock = ts // pin: begin loaded the current clock, override it
+		t.ebr.Pin()
+		oc := stm.RunAttempt(func() {
+			fn(tx)
+			tx.commit()
+		})
+		t.ebr.Unpin()
+		switch oc {
+		case stm.Committed:
+			tx.RunCommit(t.ebr.Retire)
+			t.ctr.Commits.Add(1)
+			t.ctr.ReadOnlyCommits.Add(1)
+			return true
+		case stm.Cancelled:
+			tx.rollback()
+			return false
+		}
+		tx.rollback()
+		t.ctr.Aborts.Add(1)
+		if attempt >= snapshotAttempts {
+			t.ctr.Starved.Add(1)
+			return false
+		}
+		stm.Backoff(attempt)
+	}
+}
 
 func (t *thread) run(fn func(stm.Txn), readOnly bool) bool {
 	tx := &t.txn

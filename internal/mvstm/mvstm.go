@@ -77,6 +77,12 @@ type Config struct {
 	// LockTableSize is the shared size of the lock, VLT and bloom
 	// tables (rounded up to a power of two). Default 1<<20.
 	LockTableSize int
+	// Clock, when non-nil, is an externally owned global clock shared
+	// with other TM instances (internal/shard composes N instances over
+	// one clock so a single increment freezes a cross-instance
+	// snapshot). The owner must have initialized it to a non-zero value.
+	// nil (the default) gives the instance a private clock.
+	Clock *gclock.Clock
 	// K1: failed attempts before a read-only transaction switches to
 	// the versioned path.
 	K1 int
@@ -149,7 +155,7 @@ func (c *Config) fill() {
 // System is a Multiverse instance.
 type System struct {
 	cfg    Config
-	clock  gclock.Clock
+	clock  *gclock.Clock
 	locks  *vlock.Table
 	blooms *bloom.Table
 	vlt    []vltBucket
@@ -207,7 +213,15 @@ func newSystem(cfg Config) *System {
 	s := &System{cfg: cfg, ebr: ebr.NewDomain()}
 	s.vnPool.newNode = func() *versionNode { return &versionNode{pool: &s.vnPool} }
 	s.vltPool.newNode = func() *vltNode { return &vltNode{pool: &s.vltPool} }
-	s.clock.Set(1)
+	if cfg.Clock != nil {
+		// Shared clock: already initialized (and possibly advanced) by
+		// its owner; resetting it would break monotonicity for sibling
+		// instances.
+		s.clock = cfg.Clock
+	} else {
+		s.clock = new(gclock.Clock)
+		s.clock.Set(1)
+	}
 	s.locks = vlock.NewTable(cfg.LockTableSize)
 	n := s.locks.Len()
 	s.blooms = bloom.NewTable(n)

@@ -1,0 +1,44 @@
+package shard
+
+import (
+	"repro/internal/dctl"
+	"repro/internal/gclock"
+	"repro/internal/mvstm"
+	"repro/internal/stm"
+	"repro/internal/tl2"
+)
+
+// Multiverse returns a Backend of Multiverse instances at the given tuning,
+// all committing against the shared clock. This is the intended production
+// pairing: the versioned read path is what makes cross-shard snapshot scans
+// converge under sustained update load.
+func Multiverse(cfg mvstm.Config) Backend {
+	return func(_ int, clock *gclock.Clock) stm.System {
+		c := cfg
+		c.Clock = clock
+		return mvstm.New(c)
+	}
+}
+
+// TL2 returns a Backend of TL2 instances over the shared GV4 clock. TL2
+// keeps no versions, so cross-shard queries starve under update load the
+// same way TL2's own long range queries do — useful as a baseline, not as
+// the production pairing.
+func TL2(cfg tl2.Config) Backend {
+	return func(_ int, clock *gclock.Clock) stm.System {
+		c := cfg
+		c.Clock = clock
+		return tl2.New(c)
+	}
+}
+
+// DCTL returns a Backend of DCTL instances over the shared deferred clock.
+// Like TL2 it serves point operations at full speed but has no versioned
+// escape hatch for pinned snapshot scans.
+func DCTL(cfg dctl.Config) Backend {
+	return func(_ int, clock *gclock.Clock) stm.System {
+		c := cfg
+		c.Clock = clock
+		return dctl.New(c)
+	}
+}

@@ -1,0 +1,504 @@
+// Package shard composes N independent TM instances into one logical
+// transactional system behind the existing ds.Map-shaped API, pushing past
+// the scalability ceiling of a single instance's lock table and background
+// machinery: keys hash-partition across shards, point operations route to a
+// single shard and pay nothing extra, and cross-shard read-only queries
+// (RangeTx/SizeTx/VisitTx) are answered consistently without cross-shard
+// locks or two-phase commit by freezing one snapshot timestamp and running
+// every shard's scan on its TM's versioned read path pinned at that
+// timestamp.
+//
+// # Why the shards share one clock
+//
+// Each shard has its own lock table, version-list table, bloom table,
+// announcement array, EBR domain and background thread — the structures
+// whose cache-line traffic actually serializes a single instance. The one
+// thing the shards share is the global clock, and that is what makes the
+// snapshot protocol linearizable with a single atomic increment instead of
+// a per-shard timestamp vector:
+//
+// With per-shard clocks, a frozen vector (ts_1 … ts_N) is only snapshot
+// consistent, not linearizable. The freeze reads the clocks one at a time,
+// so a writer W on an early-frozen shard can commit above its ts_i (and so
+// be excluded) and complete before a writer X on a late-frozen shard even
+// begins, commits below ts_j, and is included. Any linearization must place
+// W before X (real time) but the query before W and after X — a cycle. No
+// protocol over fully independent shards can rule this out, because nothing
+// orders the per-shard freezes. Sharing the clock collapses the freeze to
+// one increment: a transaction is excluded iff it loaded its commit
+// timestamp after the increment, and included iff before, so the increment
+// itself is the query's linearization point. The deferred-clock discipline
+// (DCTL, Multiverse) makes the shared line cheap — begins and commits only
+// load it; it is incremented on aborts and freezes.
+//
+// # The snapshot read protocol
+//
+//  1. Freeze: ts := clock.Increment(). Every transaction that completed
+//     before this instant committed strictly below ts; every transaction
+//     that begins committing after it commits at or above ts.
+//  2. Scan: run each shard's part of the query as a read-only transaction
+//     pinned at ts (stm.SnapshotThread.SnapshotAt) — on Multiverse this is
+//     the paper's versioned read path, which versions the addresses it
+//     touches, so old values stay servable under concurrent updates.
+//  3. Retry: if any shard cannot serve ts any more (its state moved out
+//     from under the freeze before versioning caught it), re-freeze a new
+//     ts and rerun the whole query body; the previous attempt's versioning
+//     side effects make the retry converge.
+//
+// Multiple cross-shard queries inside one ReadOnly body share one frozen
+// ts, so e.g. a full RangeTx and a SizeTx in the same transaction always
+// agree.
+//
+// # Transaction routing
+//
+// A Thread is a fan-out handle over one registered thread per shard. Its
+// Atomic/ReadOnly first run the body in a free "probe" state; the first
+// routed operation decides the execution plan: a point operation binds the
+// whole body to that key's shard (rerunning it inside that shard's native
+// transaction), while a cross-shard query switches a read-only body to
+// snapshot mode (each routed operation then runs as its own mini
+// transaction pinned at the frozen ts, which composes into one consistent
+// view). Update transactions must confine themselves to keys of a single
+// shard — a cross-shard update panics, it does not silently lose atomicity.
+// This mirrors the phase-reconciliation split of Narula et al. (OSDI '14):
+// serializable cross-partition work is reads-only; writes stay partition
+// local and cross-partition flows are reconciled by the application (see
+// examples/shardedbank).
+package shard
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/gclock"
+	"repro/internal/stm"
+)
+
+// Backend constructs shard i's TM instance against the shared clock. The
+// clock is initialized (non-zero) before any shard is built; backends must
+// pass it through to their TM's Config and must not reset it.
+type Backend func(shard int, clock *gclock.Clock) stm.System
+
+// Config describes a sharded system.
+type Config struct {
+	// Shards is the number of TM instances (≥ 1).
+	Shards int
+	// Backend builds each instance. All instances should be the same TM
+	// at the same tuning; nothing enforces it, but Stats and Name assume
+	// homogeneity.
+	Backend Backend
+	// FreezeRetries bounds how many times one cross-shard query body
+	// re-freezes before giving up (the enclosing ReadOnly then reports
+	// false, like a starved baseline transaction). Default 64.
+	FreezeRetries int
+}
+
+// System is a sharded TM: N backend instances over one shared clock. It
+// implements stm.System; Register returns a fan-out *Thread.
+type System struct {
+	clock         *gclock.Clock
+	shards        []stm.System
+	freezeRetries int
+	name          string
+}
+
+// New builds the sharded system.
+func New(cfg Config) *System {
+	if cfg.Shards < 1 {
+		panic("shard: Config.Shards must be >= 1")
+	}
+	if cfg.Backend == nil {
+		panic("shard: Config.Backend is required")
+	}
+	if cfg.FreezeRetries == 0 {
+		cfg.FreezeRetries = 64
+	}
+	s := &System{clock: new(gclock.Clock), freezeRetries: cfg.FreezeRetries}
+	s.clock.Set(1)
+	s.shards = make([]stm.System, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = cfg.Backend(i, s.clock)
+	}
+	s.name = fmt.Sprintf("sharded-%s[%d]", s.shards[0].Name(), cfg.Shards)
+	return s
+}
+
+// Name implements stm.System.
+func (s *System) Name() string { return s.name }
+
+// NumShards returns the shard count.
+func (s *System) NumShards() int { return len(s.shards) }
+
+// ShardOf returns the shard a key routes to. Exported so applications can
+// co-locate keys that must share an update transaction (examples/shardedbank
+// places each shard's settlement account by probing ShardOf).
+func (s *System) ShardOf(key uint64) int {
+	return int(stm.Mix64(key) % uint64(len(s.shards)))
+}
+
+// shardOfAddr routes a raw transactional word by its address, so direct
+// Read/Write through a shard Thread is protected by a deterministic shard's
+// tables. The address is used only as a hash key (cf. vlock's addr table).
+func (s *System) shardOfAddr(w *stm.Word) int {
+	return int(stm.Mix64(uint64(uintptr(unsafe.Pointer(w)))) % uint64(len(s.shards)))
+}
+
+// Shard returns shard i's backend instance (per-shard stats, ablation).
+func (s *System) Shard(i int) stm.System { return s.shards[i] }
+
+// ClockValue returns the current shared clock value (observability: the
+// deferred clock advances only on aborts and snapshot freezes).
+func (s *System) ClockValue() uint64 { return s.clock.Load() }
+
+// Stats implements stm.System: the sum over all shards.
+func (s *System) Stats() stm.Stats {
+	var total stm.Stats
+	for _, sh := range s.shards {
+		total.Add(sh.Stats())
+	}
+	return total
+}
+
+// ShardStats returns each shard's own counters (per-shard observability
+// for the bench harness).
+func (s *System) ShardStats() []stm.Stats {
+	out := make([]stm.Stats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Stats()
+	}
+	return out
+}
+
+// Close implements stm.System.
+func (s *System) Close() {
+	for _, sh := range s.shards {
+		sh.Close()
+	}
+}
+
+// Register implements stm.System: one underlying thread per shard, fanned
+// out behind a single handle.
+func (s *System) Register() stm.Thread { return s.RegisterSharded() }
+
+// RegisterSharded is Register returning the concrete fan-out type.
+func (s *System) RegisterSharded() *Thread {
+	t := &Thread{sys: s}
+	t.ths = make([]stm.Thread, len(s.shards))
+	t.snaps = make([]stm.SnapshotThread, len(s.shards))
+	for i, sh := range s.shards {
+		t.ths[i] = sh.Register()
+		t.snaps[i], _ = t.ths[i].(stm.SnapshotThread) // nil: no snapshot support
+	}
+	t.txn.th = t
+	t.boundBody = func(in stm.Txn) {
+		tx := &t.txn
+		tx.state = stateBound
+		tx.shard = t.bindShard
+		tx.inner = in
+		t.pendingFn(tx)
+	}
+	return t
+}
+
+// Thread is the per-worker fan-out handle (one registered thread per
+// shard). Like every stm.Thread it is not safe for concurrent use.
+type Thread struct {
+	sys   *System
+	ths   []stm.Thread
+	snaps []stm.SnapshotThread
+	txn   txn
+
+	// Persistent bound-run plumbing (one closure for the Thread's
+	// lifetime instead of one per transaction): runBound parks the user
+	// body and target shard here and hands boundBody to the shard's TM.
+	pendingFn func(stm.Txn)
+	bindShard int
+	boundBody func(stm.Txn)
+}
+
+// Atomic implements stm.Thread. The body must confine its writes (and, for
+// update transactions, all its operations) to keys of one shard.
+func (t *Thread) Atomic(fn func(stm.Txn)) bool { return t.exec(fn, false) }
+
+// ReadOnly implements stm.Thread. Bodies may read across shards: the first
+// cross-shard query (or point read of a second shard) switches the body to
+// snapshot mode at one frozen timestamp.
+func (t *Thread) ReadOnly(fn func(stm.Txn)) bool { return t.exec(fn, true) }
+
+// Unregister implements stm.Thread.
+func (t *Thread) Unregister() {
+	for _, th := range t.ths {
+		th.Unregister()
+	}
+}
+
+// Execution states of a shard transaction body.
+const (
+	stateIdle  = iota // between transactions
+	stateProbe        // free run: first routed op picks the plan
+	stateBound        // delegating to one shard's native transaction
+	stateSnap         // read view at one frozen timestamp
+)
+
+// txn is the stm.Txn handed to Atomic/ReadOnly bodies. The embedded Hooks
+// buffer serves the probe and snapshot states; the bound state delegates
+// hooks to the underlying shard transaction.
+type txn struct {
+	stm.Hooks
+	th       *Thread
+	state    int
+	readOnly bool
+	shard    int     // stateBound: the bound shard
+	inner    stm.Txn // stateBound: that shard's live transaction
+	ts       uint64  // stateSnap: frozen shared-clock timestamp
+	escalate bool    // bound read-only body needs the snapshot view
+	armed    int     // stateProbe: first routed op's shard (-1: none yet)
+	visitBuf []kv    // stateSnap: per-shard VisitTx staging
+}
+
+// arm records the probe's first routed operation: its shard becomes the
+// body's execution plan, and the operation returns a placeholder so
+// single-operation bodies — the dominant pattern, every ds package-level
+// wrapper — finish the probe without a panic unwind. Probe effects never
+// escape (the body reruns bound, like any STM retry), so the placeholder
+// only steers the rest of this probe run; any second routed operation
+// unwinds immediately via bind (so a body looping on an operation result
+// cannot spin on a placeholder — its next call unwinds).
+func (x *txn) arm(s int) {
+	if x.armed >= 0 {
+		panic(bindSignal{shard: x.armed})
+	}
+	x.armed = s
+}
+
+type kv struct{ k, v uint64 }
+
+// bindSignal unwinds a probe run: the first routed operation answers "this
+// body belongs on that shard" / "this body needs the snapshot view".
+type bindSignal struct {
+	shard int // < 0: snapshot mode
+}
+
+// Outcomes of one free (probe or snapshot) run of the body.
+const (
+	freeCommitted = iota
+	freeCancelled
+	freeConflict
+	freeBound
+	freeSnap
+)
+
+func (t *Thread) exec(fn func(stm.Txn), readOnly bool) bool {
+	tx := &t.txn
+	if tx.state != stateIdle {
+		panic("shard: nested transaction on one Thread")
+	}
+	tx.readOnly = readOnly
+	defer func() {
+		tx.state = stateIdle
+		tx.inner = nil
+		t.pendingFn = nil
+		tx.Reset()
+	}()
+	snapMode := false
+	freezes := 0
+	for {
+		tx.Reset()
+		tx.escalate = false
+		tx.inner = nil
+		tx.armed = -1
+		if snapMode {
+			if freezes >= t.sys.freezeRetries {
+				return false // cross-shard query starved
+			}
+			freezes++
+			// Freeze: the one shared-clock increment that is the
+			// query's linearization point.
+			tx.ts = t.sys.clock.Increment()
+			tx.state = stateSnap
+		} else {
+			tx.state = stateProbe
+		}
+		kind, shard := t.runFree(fn)
+		if tx.state == stateProbe && tx.armed >= 0 &&
+			(kind == freeCommitted || kind == freeCancelled || kind == freeConflict) {
+			// The armed probe ran on placeholder results, so only its
+			// shard plan is trustworthy — not how the body finished: a
+			// completion is the single-operation fast path, and a
+			// cancel or abort may have been decided on a placeholder
+			// value. Discard the probe run and execute bound; the body
+			// re-decides commit/cancel/abort against real data inside
+			// the shard's native transaction.
+			kind, shard = freeBound, tx.armed
+		}
+		switch kind {
+		case freeBound:
+			ok := t.runBound(fn, shard, readOnly)
+			if tx.escalate {
+				snapMode = true
+				continue
+			}
+			return ok
+		case freeSnap:
+			snapMode = true
+		case freeCommitted:
+			tx.RunCommit(t.retire)
+			return true
+		case freeCancelled:
+			tx.RunAbort()
+			return false
+		case freeConflict:
+			// stm.AbortAttempt unwound the body outside any shard
+			// transaction: re-freeze (snapshot mode) or re-probe.
+			continue
+		}
+	}
+}
+
+// runFree runs the body outside any underlying transaction (probe or
+// snapshot state), converting bind/snap unwinds and abort/cancel unwinds
+// into outcomes with a single recover (one panic traversal, no re-panic
+// chain through stm.RunAttempt).
+func (t *Thread) runFree(fn func(stm.Txn)) (kind, shard int) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if b, ok := r.(bindSignal); ok {
+			if b.shard < 0 {
+				kind = freeSnap
+			} else {
+				kind, shard = freeBound, b.shard
+			}
+			return
+		}
+		if oc, ok := stm.UnwindOutcome(r); ok {
+			if oc == stm.Cancelled {
+				kind = freeCancelled
+			} else {
+				kind = freeConflict
+			}
+			return
+		}
+		panic(r)
+	}()
+	fn(&t.txn)
+	return freeCommitted, 0
+}
+
+// runBound reruns the body inside shard s's native transaction. The
+// underlying TM owns the retry loop; every attempt re-binds the wrapper
+// (via the Thread-lifetime boundBody closure, so binding allocates
+// nothing).
+func (t *Thread) runBound(fn func(stm.Txn), s int, readOnly bool) bool {
+	t.pendingFn = fn
+	t.bindShard = s
+	if readOnly {
+		return t.ths[s].ReadOnly(t.boundBody)
+	}
+	return t.ths[s].Atomic(t.boundBody)
+}
+
+// retire hands a pure or snapshot body's eventual-frees to shard 0's
+// reclamation: an empty committed transaction whose only effect is the
+// grace-period free.
+func (t *Thread) retire(f func()) {
+	t.ths[0].Atomic(func(in stm.Txn) { in.Free(f) })
+}
+
+// snapAt runs fn as a mini read-only transaction on shard s pinned at the
+// frozen timestamp, reporting whether the shard could serve it.
+func (t *Thread) snapAt(s int, ts uint64, fn func(stm.Txn)) bool {
+	st := t.snaps[s]
+	if st == nil {
+		panic("shard: backend " + t.sys.shards[s].Name() +
+			" does not support snapshot reads (stm.SnapshotThread); cross-shard queries need a snapshot-capable TM")
+	}
+	return st.SnapshotAt(ts, fn)
+}
+
+// escalateTo aborts the current execution plan in favor of a better one:
+// from a probe run it unwinds directly (nothing has executed yet); from a
+// bound read-only transaction it cancels the underlying transaction cleanly
+// (never a foreign panic through a TM's retry loop — that would corrupt its
+// announcements) and flags the exec loop to rerun in snapshot mode.
+func (x *txn) escalateToSnap() {
+	if x.state == stateProbe {
+		panic(bindSignal{shard: -1})
+	}
+	x.escalate = true
+	stm.CancelTxn()
+}
+
+// Read implements stm.Txn for raw transactional words, routed by address.
+func (x *txn) Read(w *stm.Word) uint64 {
+	switch x.state {
+	case stateProbe:
+		x.arm(x.th.sys.shardOfAddr(w))
+		return 0 // placeholder; the body reruns bound
+	case stateBound:
+		if s := x.th.sys.shardOfAddr(w); s != x.shard {
+			if !x.readOnly {
+				panic(fmt.Sprintf("shard: cross-shard update transaction: raw read routes to shard %d but the transaction is bound to shard %d", s, x.shard))
+			}
+			x.escalateToSnap()
+		}
+		return x.inner.Read(w)
+	case stateSnap:
+		s := x.th.sys.shardOfAddr(w)
+		var v uint64
+		if !x.th.snapAt(s, x.ts, func(in stm.Txn) { v = in.Read(w) }) {
+			stm.AbortAttempt()
+		}
+		return v
+	}
+	panic("shard: transaction used outside its thread's Atomic/ReadOnly")
+}
+
+// Write implements stm.Txn for raw transactional words.
+func (x *txn) Write(w *stm.Word, v uint64) {
+	if x.readOnly {
+		panic("shard: Write inside ReadOnly transaction")
+	}
+	switch x.state {
+	case stateProbe:
+		x.arm(x.th.sys.shardOfAddr(w))
+		return // placeholder run; the body reruns bound
+	case stateBound:
+		if s := x.th.sys.shardOfAddr(w); s != x.shard {
+			panic(fmt.Sprintf("shard: cross-shard update transaction: raw write routes to shard %d but the transaction is bound to shard %d", s, x.shard))
+		}
+		x.inner.Write(w, v)
+		return
+	}
+	panic("shard: transaction used outside its thread's Atomic/ReadOnly")
+}
+
+// OnAbort implements stm.Txn, delegating to the bound shard transaction
+// when there is one.
+func (x *txn) OnAbort(f func()) {
+	if x.state == stateBound {
+		x.inner.OnAbort(f)
+		return
+	}
+	x.Hooks.OnAbort(f)
+}
+
+// OnCommit implements stm.Txn.
+func (x *txn) OnCommit(f func()) {
+	if x.state == stateBound {
+		x.inner.OnCommit(f)
+		return
+	}
+	x.Hooks.OnCommit(f)
+}
+
+// Free implements stm.Txn.
+func (x *txn) Free(f func()) {
+	if x.state == stateBound {
+		x.inner.Free(f)
+		return
+	}
+	x.Hooks.Free(f)
+}

@@ -91,6 +91,25 @@ type Thread interface {
 	Unregister()
 }
 
+// SnapshotThread is implemented by TM threads that can serve read-only
+// transactions pinned at a caller-chosen timestamp of the TM's global
+// clock. It is the per-instance primitive behind 2PC-free cross-instance
+// snapshot reads (internal/shard): when several TM instances share one
+// clock, a single clock increment yields a timestamp ts such that every
+// instance's SnapshotAt(ts, ...) observes exactly the transactions that
+// serialized before the increment.
+//
+// Contract: SnapshotAt runs fn as a read-only transaction that observes a
+// write iff its commit timestamp is strictly below ts. It makes a bounded
+// number of attempts and reports false if the snapshot at ts cannot be
+// served (the state as of ts has been overwritten in place, or the body
+// cancelled); the caller re-freezes a newer ts and retries. Unlike
+// ReadOnly, SnapshotAt never blocks indefinitely on conflicts.
+type SnapshotThread interface {
+	Thread
+	SnapshotAt(ts uint64, fn func(Txn)) bool
+}
+
 // System is a TM instance.
 type System interface {
 	// Register allocates a Thread handle for the calling goroutine.
@@ -132,6 +151,19 @@ func (s *Stats) Add(o Stats) {
 	s.Irrevocable += o.Irrevocable
 }
 
+// Sub removes o from s (windowed deltas: Stats are monotone totals).
+func (s *Stats) Sub(o Stats) {
+	s.Commits -= o.Commits
+	s.Aborts -= o.Aborts
+	s.Starved -= o.Starved
+	s.ReadOnlyCommits -= o.ReadOnlyCommits
+	s.VersionedCommits -= o.VersionedCommits
+	s.ModeSwitches -= o.ModeSwitches
+	s.Unversionings -= o.Unversionings
+	s.AddrVersioned -= o.AddrVersioned
+	s.Irrevocable -= o.Irrevocable
+}
+
 type abortSignal struct{}
 type cancelSignal struct{}
 
@@ -155,6 +187,22 @@ const (
 	// Cancelled: the body voluntarily aborted; do not retry.
 	Cancelled
 )
+
+// UnwindOutcome classifies a recovered panic value: the abort and cancel
+// sentinels map to Conflicted and Cancelled; anything else (a genuine
+// panic, or a caller's own control-flow sentinel) reports ok=false and
+// should be re-panicked. It lets layered runners (internal/shard's probe)
+// fold their own unwind handling and RunAttempt's into a single
+// defer/recover, paying one panic traversal instead of a re-panic chain.
+func UnwindOutcome(r any) (oc Outcome, ok bool) {
+	switch r {
+	case any(abortSignal{}):
+		return Conflicted, true
+	case any(cancelSignal{}):
+		return Cancelled, true
+	}
+	return Committed, false
+}
 
 // RunAttempt executes one attempt: body followed by commit, converting
 // AbortAttempt/CancelTxn unwinds into outcomes.

@@ -1,0 +1,38 @@
+package tl2
+
+import (
+	"testing"
+
+	"repro/internal/stm"
+)
+
+// TestSnapshotAtBoundary: pinned reads observe exactly the commits below
+// the frozen timestamp, and — with no version lists to fall back on —
+// report unservable once an address is overwritten at or above it.
+func TestSnapshotAtBoundary(t *testing.T) {
+	s := New(Config{LockTableSize: 1 << 10})
+	defer s.Close()
+	th := s.Register().(*thread)
+	defer th.Unregister()
+	var w stm.Word
+	if !th.Atomic(func(tx stm.Txn) { tx.Write(&w, 1) }) {
+		t.Fatal("setup write failed")
+	}
+	ts := s.clock.Increment() // freeze as internal/shard does
+	var v uint64
+	if ok := th.SnapshotAt(ts, func(tx stm.Txn) { v = tx.Read(&w) }); !ok || v != 1 {
+		t.Fatalf("quiescent snapshot: got (%d,%v) want (1,true)", v, ok)
+	}
+	if !th.Atomic(func(tx stm.Txn) { tx.Write(&w, 2) }) {
+		t.Fatal("update failed")
+	}
+	// The overwrite's GV4 commit version is >= ts: the old snapshot is
+	// gone and SnapshotAt must starve, not serve 2 as if it were old.
+	if ok := th.SnapshotAt(ts, func(tx stm.Txn) { v = tx.Read(&w) }); ok {
+		t.Fatalf("stale snapshot served %d after overwrite", v)
+	}
+	ts2 := s.clock.Increment()
+	if ok := th.SnapshotAt(ts2, func(tx stm.Txn) { v = tx.Read(&w) }); !ok || v != 2 {
+		t.Fatalf("re-freeze: got (%d,%v) want (2,true)", v, ok)
+	}
+}

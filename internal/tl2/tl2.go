@@ -22,6 +22,10 @@ type Config struct {
 	// The paper notes baselines "reach their maximum allowed aborts and
 	// quit" on long range queries.
 	MaxAttempts int
+	// Clock, when non-nil, is an externally owned GV4 clock shared with
+	// other TM instances (internal/shard). The owner must have
+	// initialized it to a non-zero value. nil gives a private clock.
+	Clock *gclock.Clock
 }
 
 func (c *Config) fill() {
@@ -33,7 +37,7 @@ func (c *Config) fill() {
 // System is a TL2 STM instance.
 type System struct {
 	cfg   Config
-	clock gclock.Clock
+	clock *gclock.Clock
 	locks *vlock.Table
 	ebr   *ebr.Domain
 	reg   stm.Registry
@@ -44,7 +48,12 @@ type System struct {
 func New(cfg Config) *System {
 	cfg.fill()
 	s := &System{cfg: cfg, locks: vlock.NewTable(cfg.LockTableSize), ebr: ebr.NewDomain()}
-	s.clock.Set(1)
+	if cfg.Clock != nil {
+		s.clock = cfg.Clock // shared; never reset (siblings may have advanced it)
+	} else {
+		s.clock = new(gclock.Clock)
+		s.clock.Set(1)
+	}
 	return s
 }
 
@@ -96,6 +105,49 @@ func (t *thread) ReadOnly(fn func(stm.Txn)) bool { return t.run(fn, true) }
 
 // Unregister implements stm.Thread.
 func (t *thread) Unregister() { t.ebr.Unregister() }
+
+// snapshotAttempts bounds SnapshotAt retries: with no version lists to fall
+// back on, an address written at or above the pinned rv can never validate
+// again, so only transient lock-held races are worth riding out.
+const snapshotAttempts = 3
+
+// SnapshotAt implements stm.SnapshotThread: a read-only transaction with
+// its read version pinned at ts-1, observing exactly the writes whose GV4
+// commit version is strictly below ts. TL2 keeps no versions, so unlike
+// Multiverse the snapshot is only servable while no address the body reads
+// has been overwritten at or above ts — under sustained update load
+// SnapshotAt starves exactly the way the paper describes TL2 starving on
+// long range queries.
+func (t *thread) SnapshotAt(ts uint64, fn func(stm.Txn)) bool {
+	tx := &t.txn
+	for attempt := 1; ; attempt++ {
+		tx.begin(true)
+		tx.rv = ts - 1 // pin: Read validates version <= rv, i.e. < ts
+		t.ebr.Pin()
+		oc := stm.RunAttempt(func() {
+			fn(tx)
+			tx.commit()
+		})
+		t.ebr.Unpin()
+		switch oc {
+		case stm.Committed:
+			tx.RunCommit(t.ebr.Retire)
+			t.ctr.Commits.Add(1)
+			t.ctr.ReadOnlyCommits.Add(1)
+			return true
+		case stm.Cancelled:
+			tx.rollback()
+			return false
+		}
+		tx.rollback()
+		t.ctr.Aborts.Add(1)
+		if attempt >= snapshotAttempts {
+			t.ctr.Starved.Add(1)
+			return false
+		}
+		runtime.Gosched()
+	}
+}
 
 func (t *thread) run(fn func(stm.Txn), readOnly bool) bool {
 	tx := &t.txn
