@@ -32,6 +32,16 @@
 // checker's reach:
 //
 //	stmtorture -tm multiverse-eager -workload hist -soak 30s -dur 10m
+//
+// The crash workload (not part of -workload all; it needs a disk) tortures
+// the persistence subsystem: rounds of WAL-backed load that hard-stop
+// mid-traffic — abandoning the live System, sometimes tearing the active
+// segment — recover from disk, and audit the recovered state: exact
+// equality after a Sync barrier, and a history-checked prefix-consistency
+// audit (one synthetic whole-window observation per key, decided by the
+// partitioned checker) for mid-traffic crashes:
+//
+//	stmtorture -tm multiverse -workload crash -dur 30s -threads 4
 package main
 
 import (
@@ -63,7 +73,7 @@ type report struct {
 
 func main() {
 	tm := flag.String("tm", "multiverse", "TM under torture")
-	wl := flag.String("workload", "all", "bank, pairs, ledger, hist, or all")
+	wl := flag.String("workload", "all", "bank, pairs, ledger, hist, crash, or all (crash only runs when named)")
 	threads := flag.Int("threads", 4, "mutator threads per workload")
 	dur := flag.Duration("dur", 5*time.Second, "torture duration (per workload)")
 	seed := flag.Uint64("seed", 1, "hist: base seed (round r uses a seed derived from it)")
@@ -139,6 +149,9 @@ func main() {
 			minModeSwitches: *minModeSw,
 		}
 		ok = histTorture(cfg) && ok
+	}
+	if *wl == "crash" {
+		ok = crashTorture(crashConfig{tm: *tm, threads: *threads, seed: *seed, dur: *dur}) && ok
 	}
 	if !ok {
 		fmt.Println("TORTURE FAILED: violations detected")

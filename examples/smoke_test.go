@@ -24,6 +24,7 @@ func TestExamplesBuildAndRun(t *testing.T) {
 		{"analytics", []string{"-dur", "150ms", "-keys", "2000", "-writers", "2"}},
 		{"snapshotiso", nil}, // fixed ~1s internal run
 		{"shardedbank", []string{"-dur", "300ms", "-accounts", "256", "-workers", "2", "-shards", "4"}},
+		{"persistbank", []string{"-dur", "300ms", "-accounts", "128", "-workers", "2", "-shards", "2"}},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {

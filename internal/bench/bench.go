@@ -7,6 +7,7 @@ package bench
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/ds"
 	"repro/internal/shard"
 	"repro/internal/stm"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -47,6 +49,13 @@ type Config struct {
 	// that many TM instances (hash-partitioned map, 2PC-free cross-shard
 	// snapshot queries) instead of a single System. 0 or 1 = unsharded.
 	Shards int
+	// Persist, when non-empty, runs the workload over a WAL-backed map
+	// (internal/wal) in a throwaway directory under the named fsync
+	// policy ("none", "group" or "every"): the workload pays real
+	// durability costs — commit observation, group flushing, fsyncs, and
+	// one online checkpoint at mid-window — and the Result gains the
+	// persistence columns (log bytes/op, checkpoint pause).
+	Persist string
 }
 
 func (c *Config) fill() {
@@ -105,6 +114,13 @@ type Result struct {
 	// direct read on cross-shard coordination traffic.
 	ShardStats []stm.Stats
 	ClockEnd   uint64
+	// Persistence runs only (Config.Persist != ""): durability overhead
+	// over the measured window.
+	LogBytesPerOp float64       // WAL bytes written per completed worker op
+	WALRecords    uint64        // commit records appended
+	Fsyncs        uint64        // fsync calls issued
+	CkptPause     time.Duration // wall time of the mid-window checkpoint (avg over trials)
+	CkptOK        bool          // the mid-window checkpoint served (versionless TMs may starve)
 }
 
 // Run executes the configured benchmark and returns averaged results.
@@ -112,6 +128,7 @@ func Run(cfg Config) Result {
 	cfg.fill()
 	var agg Result
 	agg.Config = cfg
+	agg.CkptOK = true
 	for trial := 0; trial < cfg.Trials; trial++ {
 		r := runTrial(cfg, cfg.Seed+uint64(trial)*7919)
 		agg.OpsPerSec += r.OpsPerSec
@@ -126,6 +143,11 @@ func Run(cfg Config) Result {
 		agg.BytesPerOp += r.BytesPerOp
 		agg.NumGC += r.NumGC
 		agg.GCPauseTotal += r.GCPauseTotal
+		agg.LogBytesPerOp += r.LogBytesPerOp
+		agg.WALRecords += r.WALRecords
+		agg.Fsyncs += r.Fsyncs
+		agg.CkptPause += r.CkptPause
+		agg.CkptOK = agg.CkptOK && r.CkptOK
 		if r.MaxHeapKB > agg.MaxHeapKB {
 			agg.MaxHeapKB = r.MaxHeapKB
 		}
@@ -141,6 +163,8 @@ func Run(cfg Config) Result {
 	agg.CPUSeconds /= n
 	agg.AllocsPerOp /= n
 	agg.BytesPerOp /= n
+	agg.LogBytesPerOp /= n
+	agg.CkptPause /= time.Duration(cfg.Trials)
 	if agg.CPUSeconds > 0 {
 		// Ops per CPU-second: the Fig 10 "throughput per joule" proxy
 		// (joules ∝ CPU-seconds at fixed package power).
@@ -177,17 +201,56 @@ func runTrial(cfg Config, seed uint64) Result {
 		sys     stm.System
 		m       ds.Map
 		sharded *shard.System
+		plog    *wal.Log
 	)
-	if cfg.Shards > 1 {
+	switch {
+	case cfg.Persist != "":
+		policy, ok := wal.PolicyByName(cfg.Persist)
+		if !ok {
+			panic(fmt.Sprintf("bench: unknown Persist policy %q (want none, group or every)", cfg.Persist))
+		}
+		dir, err := os.MkdirTemp("", "walbench-*")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		shards := cfg.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		wm, l, err := wal.OpenWith(wal.Options{
+			Dir: dir, Backend: cfg.TM, Shards: shards, DS: cfg.DS,
+			Capacity: max(cfg.Prefill*2, 1024), LockTable: cfg.LockTable,
+			Policy: policy,
+		})
+		if err != nil {
+			panic(err)
+		}
+		plog = l
+		sys, m = l.System(), wm
+		if cfg.Shards > 1 {
+			sharded = l.System()
+		}
+		defer l.Close()
+	case cfg.Shards > 1:
 		sharded = NewShardedTM(cfg.TM, cfg.Shards, cfg.LockTable)
 		sys = sharded
 		m = NewShardedDS(sharded, cfg.DS, max(cfg.Prefill*2, 1024))
-	} else {
+		defer sys.Close()
+	default:
 		sys = NewTM(cfg.TM, cfg.LockTable)
 		m = NewDS(cfg.DS, max(cfg.Prefill*2, 1024))
+		defer sys.Close()
 	}
-	defer sys.Close()
 	prefill(sys, m, cfg, seed)
+	var walBefore wal.Stats
+	if plog != nil {
+		// Fold the prefill into a pre-window checkpoint so the measured
+		// log traffic — and the first truncation targets — are the
+		// window's own.
+		plog.Checkpoint() //nolint:errcheck // versionless TMs may starve; the window still measures
+		walBefore = plog.Stats()
+	}
 
 	statsBefore := sys.Stats()
 	var shardBefore []stm.Stats
@@ -311,6 +374,8 @@ func runTrial(cfg Config, seed uint64) Result {
 	var lastOps uint64
 	var lastSample time.Duration
 	var ms runtime.MemStats
+	ckpted := plog == nil
+	res.CkptOK = true
 	totalDur := cfg.Duration
 	if len(cfg.Phases) > 0 {
 		totalDur = 0
@@ -351,6 +416,16 @@ func runTrial(cfg Config, seed uint64) Result {
 			res.Series = append(res.Series, Sample{At: elapsed, Ops: ops - lastOps})
 			lastOps = ops
 			lastSample = elapsed
+		}
+		if plog != nil && !ckpted && elapsed >= totalDur/2 {
+			// One online checkpoint mid-window: its wall time is the
+			// "checkpoint pause" column (the system stays online — the
+			// pause is checkpointer latency, not a stop-the-world).
+			ckpted = true
+			t0 := time.Now()
+			_, ckErr := plog.Checkpoint()
+			res.CkptPause = time.Since(t0)
+			res.CkptOK = ckErr == nil
 		}
 		runtime.ReadMemStats(&ms)
 		if kb := ms.HeapAlloc / 1024; kb > res.MaxHeapKB {
@@ -404,6 +479,14 @@ func runTrial(cfg Config, seed uint64) Result {
 			res.ShardStats[i] = d
 		}
 		res.ClockEnd = sharded.ClockValue()
+	}
+	if plog != nil {
+		walAfter := plog.Stats()
+		res.WALRecords = walAfter.Records - walBefore.Records
+		res.Fsyncs = walAfter.Fsyncs - walBefore.Fsyncs
+		if ops > 0 {
+			res.LogBytesPerOp = float64(walAfter.BytesAppended-walBefore.BytesAppended) / float64(ops)
+		}
 	}
 	return res
 }
@@ -460,6 +543,21 @@ func (r Result) String() string {
 		tm, r.Config.DS, r.Config.Threads, r.Config.Updaters,
 		r.OpsPerSec, r.RQsPerSec, r.Commits, r.Aborts, r.Starved, r.MaxHeapKB, r.OpsPerCPUSec,
 		r.AllocsPerOp, r.BytesPerOp, r.NumGC, r.GCPauseTotal)
+}
+
+// PersistRow renders the durability-overhead line of a persistence run
+// (Config.Persist != ""): the fsync policy, WAL traffic normalized per op,
+// and the mid-window checkpoint pause.
+func (r Result) PersistRow() string {
+	if r.Config.Persist == "" {
+		return ""
+	}
+	ck := fmt.Sprintf("%.2fms", r.CkptPause.Seconds()*1e3)
+	if !r.CkptOK {
+		ck += " (starved)"
+	}
+	return fmt.Sprintf("    persist policy=%-6s logB/op=%-8.1f wal-records=%-9d fsyncs=%-7d ckpt-pause=%s\n",
+		r.Config.Persist, r.LogBytesPerOp, r.WALRecords, r.Fsyncs, ck)
 }
 
 // ShardRows renders the per-shard observability lines of a sharded run:

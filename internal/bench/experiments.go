@@ -331,6 +331,57 @@ func Experiments() map[string]Experiment {
 	})
 
 	add(Experiment{
+		ID:    "persist",
+		Title: "durability overhead: fsync policy sweep (none/group/every-commit) over a WAL-backed map, plus a sharded persistence row",
+		Run: func(s Scale, tms []string, w io.Writer) {
+			// Only the WAL-capable (snapshot-capable) TMs can carry a log.
+			capable := map[string]bool{"multiverse": true, "multiverse-eager": true, "dctl": true, "tl2": true}
+			var persistTMs []string
+			for _, tm := range tms {
+				if capable[tm] {
+					persistTMs = append(persistTMs, tm)
+				}
+			}
+			if len(persistTMs) == 0 {
+				persistTMs = []string{"multiverse"}
+			}
+			threads := s.Threads[len(s.Threads)-1]
+			base := Config{
+				DS: "hashmap", Threads: threads,
+				Mix:     mixFor(10, 10, 0, 0),
+				Prefill: s.Prefill, Duration: s.Duration, Trials: s.Trials,
+			}
+			for _, tm := range persistTMs {
+				fmt.Fprintf(w, "--- persist: %s hashmap 10%% ins / 10%% del point ops, thr=%d ---\n", tm, threads)
+				cfg := base
+				cfg.TM = tm
+				// Durability off: the no-WAL baseline. Note it runs on a
+				// direct System while every persist row routes through the
+				// shard wrapper wal always builds (even at 1 shard), so
+				// the first row's gap includes that routing cost; read
+				// fsync policy against the policy=none row, which isolates
+				// the durability variable.
+				fmt.Fprintf(w, "    (baseline below is direct/unsharded; persist rows include the shard-routing wrapper — compare policies against policy=none)\n")
+				fmt.Fprintln(w, Run(cfg))
+				for _, policy := range []string{"none", "group", "every"} {
+					cfg.Persist = policy
+					res := Run(cfg)
+					fmt.Fprintln(w, res)
+					fmt.Fprint(w, res.PersistRow())
+				}
+				// Sharded persistence: per-shard log streams, one
+				// checkpoint ts from the shared clock.
+				cfg.Persist = "group"
+				cfg.Shards = 4
+				res := Run(cfg)
+				fmt.Fprintln(w, res)
+				fmt.Fprint(w, res.PersistRow())
+				fmt.Fprint(w, res.ShardRows())
+			}
+		},
+	})
+
+	add(Experiment{
 		ID:    "tab1",
 		Title: "TM mode behaviour matrix (verified by TestTable1ModeMatrix)",
 		Run: func(s Scale, tms []string, w io.Writer) {

@@ -20,6 +20,7 @@ type RunRecord struct {
 	Trials      int     `json:"trials"`
 	Zipf        bool    `json:"zipf,omitempty"`
 	SizeQueries bool    `json:"size_queries,omitempty"`
+	Persist     string  `json:"persist,omitempty"`
 
 	OpsPerSec    float64 `json:"ops_per_sec"`
 	RQsPerSec    float64 `json:"rqs_per_sec"`
@@ -35,6 +36,13 @@ type RunRecord struct {
 	NumGC        uint64  `json:"num_gc"`
 	GCPauseNs    int64   `json:"gc_pause_ns"`
 	ClockEnd     uint64  `json:"clock_end,omitempty"`
+
+	// Durability overhead (persistence runs, Config.Persist != "").
+	LogBytesPerOp float64 `json:"log_bytes_per_op,omitempty"`
+	WALRecords    uint64  `json:"wal_records,omitempty"`
+	Fsyncs        uint64  `json:"fsyncs,omitempty"`
+	CkptPauseNs   int64   `json:"ckpt_pause_ns,omitempty"`
+	CkptStarved   bool    `json:"ckpt_starved,omitempty"`
 
 	// Per-shard commit/abort splits (sharded runs, last trial's window).
 	ShardCommits []uint64 `json:"shard_commits,omitempty"`
@@ -66,6 +74,7 @@ func emitJSON(r Result) {
 		Trials:      r.Config.Trials,
 		Zipf:        r.Config.Zipf,
 		SizeQueries: r.Config.SizeQueries,
+		Persist:     r.Config.Persist,
 
 		OpsPerSec:    r.OpsPerSec,
 		RQsPerSec:    r.RQsPerSec,
@@ -81,6 +90,13 @@ func emitJSON(r Result) {
 		NumGC:        r.NumGC,
 		GCPauseNs:    r.GCPauseTotal.Nanoseconds(),
 		ClockEnd:     r.ClockEnd,
+	}
+	if r.Config.Persist != "" {
+		rec.LogBytesPerOp = r.LogBytesPerOp
+		rec.WALRecords = r.WALRecords
+		rec.Fsyncs = r.Fsyncs
+		rec.CkptPauseNs = r.CkptPause.Nanoseconds()
+		rec.CkptStarved = !r.CkptOK
 	}
 	for _, st := range r.ShardStats {
 		rec.ShardCommits = append(rec.ShardCommits, st.Commits)

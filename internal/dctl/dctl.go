@@ -29,6 +29,11 @@ type Config struct {
 	// with other TM instances (internal/shard). The owner must have
 	// initialized it to a non-zero value. nil gives a private clock.
 	Clock *gclock.Clock
+	// OnCommit, when non-nil, observes every committed update transaction
+	// with a non-empty redo buffer at its commit linearization point
+	// (after read-set validation, before the write locks release at the
+	// commit clock). See stm.CommitObserver.
+	OnCommit stm.CommitObserver
 }
 
 func (c *Config) fill() {
@@ -351,6 +356,14 @@ func (tx *txn) commit() {
 		return
 	}
 	commitClock := tx.t.sys.clock.Load()
+	// Commit observation (durability seam): past validation (or on the
+	// irrevocable path, which cannot abort), at the commit clock, still
+	// under the write locks.
+	if obs := tx.t.sys.cfg.OnCommit; obs != nil {
+		if redo := tx.Redo(); len(redo) > 0 {
+			obs.ObserveCommit(commitClock, redo)
+		}
+	}
 	for _, l := range tx.locked {
 		l.Release(commitClock)
 	}

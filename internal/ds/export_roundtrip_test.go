@@ -1,0 +1,98 @@
+package ds_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/ds"
+	"repro/internal/ds/hashmap"
+	"repro/internal/mvstm"
+)
+
+// TestKVSerializationRoundTrip pins the wire-compatibility of []ds.KV — the
+// unit both the WAL checkpoint image and any external consumer serialize —
+// through gob and JSON, including the empty and nil edge cases.
+func TestKVSerializationRoundTrip(t *testing.T) {
+	cases := map[string][]ds.KV{
+		"nil":   nil,
+		"empty": {},
+		"pairs": {{Key: 1, Val: 2}, {Key: 3, Val: 0}, {Key: ^uint64(0), Val: ^uint64(0)}},
+	}
+	for name, pairs := range cases {
+		t.Run(name, func(t *testing.T) {
+			// gob round trip.
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(pairs); err != nil {
+				t.Fatalf("gob encode: %v", err)
+			}
+			var backGob []ds.KV
+			if err := gob.NewDecoder(&buf).Decode(&backGob); err != nil {
+				t.Fatalf("gob decode: %v", err)
+			}
+			if len(backGob) != len(pairs) {
+				t.Fatalf("gob: %d pairs back, want %d", len(backGob), len(pairs))
+			}
+			for i := range pairs {
+				if backGob[i] != pairs[i] {
+					t.Fatalf("gob: pair %d diverged: %v vs %v", i, backGob[i], pairs[i])
+				}
+			}
+			// JSON round trip. Large uint64s must survive (they do:
+			// encoding/json renders uint64 as full-precision integers).
+			blob, err := json.Marshal(pairs)
+			if err != nil {
+				t.Fatalf("json marshal: %v", err)
+			}
+			var backJSON []ds.KV
+			if err := json.Unmarshal(blob, &backJSON); err != nil {
+				t.Fatalf("json unmarshal: %v", err)
+			}
+			if len(pairs) == 0 {
+				if len(backJSON) != 0 {
+					t.Fatalf("json: %d pairs back, want none", len(backJSON))
+				}
+				return
+			}
+			if !reflect.DeepEqual(backJSON, pairs) {
+				t.Fatalf("json: round trip diverged: %v vs %v", backJSON, pairs)
+			}
+		})
+	}
+}
+
+// TestExportCapDoesNotRegrow: an export with a sufficient capacity hint
+// appends in place — same backing array, no regrowth — so a sized map
+// (SizeTx, a retained image) exports without per-attempt reallocation.
+func TestExportCapDoesNotRegrow(t *testing.T) {
+	sys := mvstm.New(mvstm.Config{LockTableSize: 1 << 12})
+	defer sys.Close()
+	th := sys.Register()
+	defer th.Unregister()
+	m := hashmap.New(1024, 512)
+	const n = 300
+	for i := uint64(1); i <= n; i++ {
+		ds.Insert(th, m, i, i*2)
+	}
+	sz, ok := ds.Size(th, m)
+	if !ok || sz != n {
+		t.Fatalf("size = %d, %v; want %d", sz, ok, n)
+	}
+	pairs, ok := ds.ExportCap(th, m, 1, ^uint64(0), sz)
+	if !ok {
+		t.Fatal("export starved")
+	}
+	if len(pairs) != n {
+		t.Fatalf("exported %d pairs want %d", len(pairs), n)
+	}
+	if cap(pairs) != sz {
+		t.Fatalf("export regrew its slice: cap=%d, hint was %d", cap(pairs), sz)
+	}
+	// And the unhinted path still works (growth, same contents).
+	loose, ok := ds.Export(th, m, 1, ^uint64(0))
+	if !ok || len(loose) != n {
+		t.Fatalf("unhinted export: %d pairs, ok=%v", len(loose), ok)
+	}
+}

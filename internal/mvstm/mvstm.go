@@ -106,6 +106,13 @@ type Config struct {
 	// UnversionThreshold, when non-zero, overrides the §4.4 heuristic
 	// with a fixed clock-delta threshold (used by tests and ablations).
 	UnversionThreshold uint64
+	// OnCommit, when non-nil, observes every committed update transaction
+	// with a non-empty redo buffer at its commit linearization point
+	// (after read-set validation, before write locks are released). See
+	// stm.CommitObserver for the contract. internal/wal installs its log
+	// streams here so durability is an observer of the commit protocol,
+	// never a participant in it.
+	OnCommit stm.CommitObserver
 	// BGInterval is the pause between background-thread passes.
 	// Default 100µs.
 	BGInterval time.Duration

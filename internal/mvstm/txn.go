@@ -501,6 +501,17 @@ func (tx *txn) commit() {
 		}
 	}
 	commitClock := sys.clock.Load()
+	// Commit observation (durability seam): past validation, at the commit
+	// timestamp, before *any* publication — the TBD unset below is already
+	// visible to versioned readers waiting in traverse (no lock check
+	// guards them), so the observer must run first or an SI transaction
+	// could read this commit's value and log its own dependent record
+	// ahead of ours. Nothing between here and the releases can abort.
+	if obs := sys.cfg.OnCommit; obs != nil {
+		if redo := tx.Redo(); len(redo) > 0 {
+			obs.ObserveCommit(commitClock, redo)
+		}
+	}
 	// Unset TBD markers with the commit clock, then release locks.
 	for _, vn := range tx.vwrites {
 		vn.meta.Store(makeMeta(commitClock, false))

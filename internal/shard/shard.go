@@ -91,6 +91,12 @@ type Config struct {
 	// re-freezes before giving up (the enclosing ReadOnly then reports
 	// false, like a starved baseline transaction). Default 64.
 	FreezeRetries int
+	// ClockStart, when non-zero, initializes the shared clock to this
+	// value instead of 1. Recovery (internal/wal) restarts a system with
+	// the clock above every persisted commit timestamp, so timestamps of
+	// post-recovery commits extend — never collide with — the log's
+	// existing timestamp order.
+	ClockStart uint64
 }
 
 // System is a sharded TM: N backend instances over one shared clock. It
@@ -114,7 +120,11 @@ func New(cfg Config) *System {
 		cfg.FreezeRetries = 64
 	}
 	s := &System{clock: new(gclock.Clock), freezeRetries: cfg.FreezeRetries}
-	s.clock.Set(1)
+	if cfg.ClockStart != 0 {
+		s.clock.Set(cfg.ClockStart)
+	} else {
+		s.clock.Set(1)
+	}
 	s.shards = make([]stm.System, cfg.Shards)
 	for i := range s.shards {
 		s.shards[i] = cfg.Backend(i, s.clock)
@@ -149,6 +159,15 @@ func (s *System) Shard(i int) stm.System { return s.shards[i] }
 // ClockValue returns the current shared clock value (observability: the
 // deferred clock advances only on aborts and snapshot freezes).
 func (s *System) ClockValue() uint64 { return s.clock.Load() }
+
+// FreezeTs atomically increments the shared clock and returns the frozen
+// timestamp: every transaction that completed before the increment committed
+// strictly below the returned value, and every shard's
+// stm.SnapshotThread.SnapshotAt at it observes exactly those transactions.
+// This is the same linearization-point increment the cross-shard query path
+// performs internally, exposed for whole-system consumers (internal/wal's
+// checkpointer snapshots all shards at one FreezeTs).
+func (s *System) FreezeTs() uint64 { return s.clock.Increment() }
 
 // Stats implements stm.System: the sum over all shards.
 func (s *System) Stats() stm.Stats {
@@ -501,4 +520,17 @@ func (x *txn) Free(f func()) {
 		return
 	}
 	x.Hooks.Free(f)
+}
+
+// AppendRedo implements stm.RedoLogger. Bound bodies forward to the shard's
+// live transaction, whose TM owns the commit (and hence the observation) of
+// the record. Probe runs drop the record — their effects are discarded and
+// the body reruns bound — and snapshot bodies are read-only, so a record
+// appended there has no commit to ride.
+func (x *txn) AppendRedo(rec stm.RedoRec) {
+	if x.state == stateBound {
+		if rl, ok := x.inner.(stm.RedoLogger); ok {
+			rl.AppendRedo(rec)
+		}
+	}
 }

@@ -9,6 +9,7 @@ type Hooks struct {
 	abortFns  []func()
 	commitFns []func()
 	freeFns   []func()
+	redo      []RedoRec
 }
 
 // OnAbort registers f to run (in reverse registration order) if the attempt
@@ -21,6 +22,15 @@ func (h *Hooks) OnCommit(f func()) { h.commitFns = append(h.commitFns, f) }
 // Free registers a revocable eventual-free.
 func (h *Hooks) Free(f func()) { h.freeFns = append(h.freeFns, f) }
 
+// AppendRedo implements RedoLogger: it buffers one logical redo record for
+// the attempt. The buffer rides the attempt — cleared by Reset on retry,
+// handed to the TM's CommitObserver (if configured) on commit.
+func (h *Hooks) AppendRedo(r RedoRec) { h.redo = append(h.redo, r) }
+
+// Redo returns the attempt's buffered redo records. The slice is reused
+// across attempts; consumers must not retain it.
+func (h *Hooks) Redo() []RedoRec { return h.redo }
+
 // Cancel voluntarily aborts the transaction. It does not return.
 func (h *Hooks) Cancel() { CancelTxn() }
 
@@ -29,6 +39,7 @@ func (h *Hooks) Reset() {
 	h.abortFns = h.abortFns[:0]
 	h.commitFns = h.commitFns[:0]
 	h.freeFns = h.freeFns[:0]
+	h.redo = h.redo[:0]
 }
 
 // RunAbort executes the abort rollbacks (newest first) and drops everything

@@ -1,0 +1,80 @@
+package stm
+
+// This file is the commit-observation seam the durability subsystem
+// (internal/wal) hangs off: transaction bodies describe their committed
+// effects as logical redo records, and a TM configured with a CommitObserver
+// hands those records — together with the commit timestamp — to the observer
+// at the commit linearization point. The observer is a pure spectator of the
+// existing commit protocol: it runs after the attempt can no longer abort
+// (read validation passed, the commit timestamp is chosen) and before the
+// transaction's write locks are released, so observation order agrees with
+// write-write conflict order and with read-from causality, but the observer
+// never participates in deciding the commit.
+
+// RedoOp is the kind of one logical redo record.
+type RedoOp uint8
+
+const (
+	// RedoInsert records that the transaction inserted Key→Val into a map
+	// that did not contain Key.
+	RedoInsert RedoOp = 1
+	// RedoDelete records that the transaction removed Key.
+	RedoDelete RedoOp = 2
+)
+
+// RedoRec is one logical operation of a committed transaction's write-set,
+// at the abstraction level a write-ahead log can replay into a fresh map
+// (raw Word addresses are meaningless across process lifetimes).
+type RedoRec struct {
+	Op       RedoOp
+	Key, Val uint64
+}
+
+// CommitObserver observes committed update transactions. TMs that support
+// observation (mvstm, tl2, dctl — via their Config.OnCommit) call
+// ObserveCommit exactly once per committed transaction whose redo buffer is
+// non-empty, with the transaction's commit timestamp, on the committing
+// goroutine, while the transaction still holds its write locks.
+//
+// Consequences of that call site, which observers must respect:
+//
+//   - ObserveCommit must not call back into the TM (registering threads,
+//     running transactions, or touching Words) — the caller is inside the
+//     commit critical section.
+//   - Two transactions that conflict (write-write on any word, or one reads
+//     what the other wrote) observe in their serialization order, so an
+//     append-ordered log of the observations is causally consistent: any
+//     prefix of it is a legal cut of the execution.
+//   - Concurrent conflicting transactions never share a commit timestamp
+//     (the second writer must validate past the first's release version,
+//     which forces a strictly larger read — and hence commit — clock under
+//     every deferred-clock and GV4 rule). Equal timestamps therefore occur
+//     only between commits that don't overlap in time on one instance
+//     (whose observation order the per-instance log preserves) or that
+//     commute (different instances hold disjoint keys). Replaying a log
+//     sorted *stably* by timestamp is thus equivalent to replaying it in
+//     observation order.
+//   - redo is the transaction's internal buffer, valid only for the
+//     duration of the call; observers must copy what they keep.
+//   - ObserveCommit blocking (an fsync, say) delays the commit's visibility
+//     to conflicting transactions but cannot affect its correctness.
+type CommitObserver interface {
+	ObserveCommit(ts uint64, redo []RedoRec)
+}
+
+// RedoLogger is implemented by the Txn types of TMs that support commit
+// observation (all Hooks-embedding transactions, plus internal/shard's
+// routing wrapper, which forwards to the bound shard's transaction).
+type RedoLogger interface {
+	AppendRedo(RedoRec)
+}
+
+// LogRedo appends rec to tx's redo buffer when the transaction supports
+// commit observation, and is a no-op otherwise. Map wrappers (wal.Map) call
+// it after an operation that changed the structure; the buffer is dropped
+// with the attempt on abort and handed to the TM's CommitObserver on commit.
+func LogRedo(tx Txn, rec RedoRec) {
+	if rl, ok := tx.(RedoLogger); ok {
+		rl.AppendRedo(rec)
+	}
+}

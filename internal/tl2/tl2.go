@@ -26,6 +26,11 @@ type Config struct {
 	// other TM instances (internal/shard). The owner must have
 	// initialized it to a non-zero value. nil gives a private clock.
 	Clock *gclock.Clock
+	// OnCommit, when non-nil, observes every committed update transaction
+	// with a non-empty redo buffer at its commit linearization point
+	// (after validation and write-back, before the write locks release at
+	// wv). See stm.CommitObserver.
+	OnCommit stm.CommitObserver
 }
 
 func (c *Config) fill() {
@@ -269,6 +274,14 @@ func (tx *txn) commit() {
 	}
 	for _, e := range tx.writes {
 		e.w.Store(e.v)
+	}
+	// Commit observation (durability seam): validation passed, the redo
+	// values are in place, and the write locks are still held, so nothing
+	// can abort this commit and no conflicting commit can observe first.
+	if obs := sys.cfg.OnCommit; obs != nil {
+		if redo := tx.Redo(); len(redo) > 0 {
+			obs.ObserveCommit(wv, redo)
+		}
 	}
 	for _, l := range tx.locked {
 		l.Release(wv)

@@ -1,0 +1,203 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/ds"
+	"repro/internal/stm"
+)
+
+// CheckpointInfo summarizes one Checkpoint call.
+type CheckpointInfo struct {
+	Ts            uint64        // the frozen timestamp
+	Full          bool          // full image vs incremental delta
+	Entries       int           // entries written (pairs + tombstones)
+	Live          int           // live pairs in the image at Ts
+	TruncatedSegs int           // log segments deleted below Ts
+	Freezes       int           // clock freezes needed (1 = first try served)
+	Pause         time.Duration // wall time of the whole call
+}
+
+// Checkpoint takes an online checkpoint: it freezes one shared-clock
+// timestamp, snapshots every shard pinned at it (writers keep committing
+// throughout — on Multiverse the pinned scans ride the versioned read
+// path), writes the pairs changed since the previous checkpoint to a new
+// checkpoint file, and deletes the log segments the checkpoint makes
+// redundant. Every FullEvery-th checkpoint writes the full image and prunes
+// the older checkpoint files.
+//
+// On the versionless baselines (tl2, dctl) a pinned scan starves under
+// sustained update load; Checkpoint re-freezes up to CheckpointRetries
+// times and then reports the starvation as an error, leaving the previous
+// checkpoint state untouched.
+func (l *Log) Checkpoint() (CheckpointInfo, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var info CheckpointInfo
+	if l.closed || l.severed.Load() {
+		return info, errors.New("wal: log is closed or severed")
+	}
+	start := time.Now()
+
+	image, ts, freezes, err := l.snapshotAll()
+	if err != nil {
+		return info, err
+	}
+	info.Ts, info.Freezes, info.Live = ts, freezes, len(image)
+
+	full := l.lastCkptTs.Load() == 0 || l.incrSinceFull >= l.opts.FullEvery
+	var entries []ckptEntry
+	if full {
+		entries = make([]ckptEntry, 0, len(image))
+		for k, v := range image {
+			entries = append(entries, ckptEntry{key: k, val: v})
+		}
+	} else {
+		for k, v := range image {
+			if old, ok := l.lastImage[k]; !ok || old != v {
+				entries = append(entries, ckptEntry{key: k, val: v})
+			}
+		}
+		for k := range l.lastImage {
+			if _, ok := image[k]; !ok {
+				entries = append(entries, ckptEntry{key: k, tomb: true})
+			}
+		}
+	}
+	info.Full, info.Entries = full, len(entries)
+
+	if l.severed.Load() { // crashed while we scanned: write nothing
+		return info, errors.New("wal: log severed during checkpoint")
+	}
+	path := filepath.Join(l.opts.Dir, fmt.Sprintf("ck-%016x.ckpt", ts))
+	if err := writeFileDurable(path, encodeCheckpoint(ts, l.lastCkptTs.Load(), full, entries)); err != nil {
+		return info, err
+	}
+
+	// The checkpoint is durable; everything below ts is now redundant.
+	l.ckptFiles = append(l.ckptFiles, ckptOnDisk{ts: ts, full: full, path: path})
+	if full {
+		kept := l.ckptFiles[:0]
+		for _, c := range l.ckptFiles {
+			if c.ts < ts {
+				os.Remove(c.path)
+				continue
+			}
+			kept = append(kept, c)
+		}
+		l.ckptFiles = kept
+		l.incrSinceFull = 0
+	} else {
+		l.incrSinceFull++
+	}
+	for _, s := range l.streams {
+		info.TruncatedSegs += s.truncateBelow(ts)
+	}
+	keptLegacy := l.legacySegs[:0]
+	for _, seg := range l.legacySegs {
+		if seg.maxTs < ts {
+			os.Remove(seg.path)
+			info.TruncatedSegs++
+			continue
+		}
+		keptLegacy = append(keptLegacy, seg)
+	}
+	l.legacySegs = keptLegacy
+
+	l.lastImage = image
+	l.lastCkptTs.Store(ts)
+	l.checkpoints.Add(1)
+	info.Pause = time.Since(start)
+	l.lastCkptPause.Store(int64(info.Pause))
+	return info, nil
+}
+
+// snapshotAll builds the whole-system image at one frozen timestamp. A
+// shard that cannot serve the pinned scan (versionless backend under churn)
+// forces a re-freeze of the entire image, so the result is always a
+// consistent cut at a single clock increment.
+func (l *Log) snapshotAll() (map[uint64]uint64, uint64, int, error) {
+	for attempt := 1; ; attempt++ {
+		ts := l.sys.FreezeTs()
+		image := make(map[uint64]uint64, len(l.lastImage)+64)
+		ok := true
+		for i := 0; i < l.sys.NumShards() && ok; i++ {
+			vis, isVis := l.perDS[i].(ds.Visitor)
+			if !isVis {
+				return nil, 0, attempt, fmt.Errorf("wal: data structure %q is not exportable (ds.Visitor)", l.opts.DS)
+			}
+			ok = l.snapThs[i].SnapshotAt(ts, func(tx stm.Txn) {
+				// The pinned scan may retry internally; stage so a
+				// discarded attempt's emissions never reach the image.
+				l.stage = l.stage[:0]
+				vis.VisitTx(tx, 1, ^uint64(0), func(k, v uint64) {
+					l.stage = append(l.stage, ds.KV{Key: k, Val: v})
+				})
+			})
+			if ok {
+				for _, kv := range l.stage {
+					image[kv.Key] = kv.Val
+				}
+			}
+		}
+		if ok {
+			return image, ts, attempt, nil
+		}
+		if attempt >= l.opts.CheckpointRetries {
+			return nil, 0, attempt, fmt.Errorf("wal: checkpoint starved after %d freezes (backend %q keeps no versions to pin)", attempt, l.opts.Backend)
+		}
+		time.Sleep(time.Duration(attempt) * 100 * time.Microsecond)
+	}
+}
+
+// writeFileDurable writes data to path via a temp file, fsync, rename, and
+// a directory fsync, so a crash mid-checkpoint leaves either no file or a
+// fully valid one under the final name (the CRC footer catches anything in
+// between) — and a power loss after return cannot lose the rename itself,
+// which matters because the caller deletes superseded segments next.
+func writeFileDurable(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so entry creations/renames within it survive
+// power loss (a no-op failure is tolerated on filesystems that cannot sync
+// directories — those also reorder nothing across a process death, which
+// is the level the crash torture exercises).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	d.Close()
+	if err != nil && (errors.Is(err, os.ErrInvalid) || errors.Is(err, errors.ErrUnsupported)) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,59 @@
+package wal
+
+import (
+	"repro/internal/ds"
+	"repro/internal/stm"
+)
+
+// Map is the logging ds.Map wrapper returned by Open: every mutation that
+// takes effect appends a logical redo record to its transaction, which the
+// TM hands to the log stream at the commit linearization point. Reads and
+// queries pass straight through — logging costs the read path nothing.
+//
+// Map adds no synchronization and no transactional behaviour of its own;
+// it composes like any ds.Map (drive it with threads registered on
+// Log.System()).
+type Map struct {
+	inner ds.Map
+}
+
+var _ ds.Map = (*Map)(nil)
+var _ ds.Visitor = (*Map)(nil)
+
+// InsertTx implements ds.Map.
+func (m *Map) InsertTx(tx stm.Txn, key, val uint64) bool {
+	ins := m.inner.InsertTx(tx, key, val)
+	if ins {
+		stm.LogRedo(tx, stm.RedoRec{Op: stm.RedoInsert, Key: key, Val: val})
+	}
+	return ins
+}
+
+// DeleteTx implements ds.Map.
+func (m *Map) DeleteTx(tx stm.Txn, key uint64) bool {
+	del := m.inner.DeleteTx(tx, key)
+	if del {
+		stm.LogRedo(tx, stm.RedoRec{Op: stm.RedoDelete, Key: key})
+	}
+	return del
+}
+
+// SearchTx implements ds.Map.
+func (m *Map) SearchTx(tx stm.Txn, key uint64) (uint64, bool) {
+	return m.inner.SearchTx(tx, key)
+}
+
+// RangeTx implements ds.Map.
+func (m *Map) RangeTx(tx stm.Txn, lo, hi uint64) (int, uint64) {
+	return m.inner.RangeTx(tx, lo, hi)
+}
+
+// SizeTx implements ds.Map.
+func (m *Map) SizeTx(tx stm.Txn) int {
+	return m.inner.SizeTx(tx)
+}
+
+// VisitTx implements ds.Visitor.
+func (m *Map) VisitTx(tx stm.Txn, lo, hi uint64, fn func(key, val uint64)) {
+	m.inner.(ds.Visitor).VisitTx(tx, lo, hi, fn)
+}

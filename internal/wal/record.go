@@ -1,0 +1,222 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"repro/internal/stm"
+)
+
+// On-disk formats. All integers are little-endian.
+//
+// Segment file (shard-NNN/wal-XXXXXXXXXXXXXXXX.seg):
+//
+//	header:  8B magic "WALSEG01" | u32 version | u32 shard
+//	record:  u32 payloadLen | u32 crc32c(payload) | payload
+//	payload: u64 commitTs | u32 opCount | opCount × (u8 op, u64 key, u64 val)
+//
+// Checkpoint file (ck-XXXXXXXXXXXXXXXX.ckpt, name hex-encodes the frozen ts):
+//
+//	header:  8B magic "WALCKP01" | u32 version | u8 kind (1 full, 2 incr)
+//	         | 3B pad | u64 frozenTs | u64 prevTs | u64 entryCount
+//	entries: entryCount × (u8 flag (1 pair, 2 tombstone), u64 key, u64 val)
+//	footer:  u32 crc32c(header[8:] ++ entries)
+//
+// prevTs names the checkpoint an incremental delta was diffed against
+// (0 for full checkpoints): recovery applies an increment only onto the
+// exact state it was computed from, so a gap in the chain — however it
+// arose — can never be silently skipped over.
+//
+// Both files are valid only up to the first framing or checksum violation: a
+// torn record (crash mid-write) or a flipped bit invalidates that record and
+// everything after it in the file, never anything before it.
+
+const (
+	segMagic  = "WALSEG01"
+	ckptMagic = "WALCKP01"
+
+	formatVersion = 1
+
+	segHeaderSize  = 16
+	recFrameSize   = 8  // payloadLen + crc
+	recFixedSize   = 12 // ts + opCount
+	opSize         = 17
+	ckptHeaderSize = 40
+	ckptEntrySize  = 17
+
+	ckptKindFull = 1
+	ckptKindIncr = 2
+
+	// maxRecordPayload rejects absurd length prefixes (a corrupted length
+	// field must not drive a huge allocation).
+	maxRecordPayload = 1 << 28
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// record is one decoded WAL record: the commit timestamp and the logical
+// redo of one committed transaction.
+type record struct {
+	ts   uint64
+	redo []stm.RedoRec
+}
+
+// appendSegHeader appends a segment header for the given shard stream.
+func appendSegHeader(buf []byte, shard int) []byte {
+	buf = append(buf, segMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(shard))
+	return buf
+}
+
+// appendRecord appends one framed, checksummed record.
+func appendRecord(buf []byte, ts uint64, redo []stm.RedoRec) []byte {
+	payloadLen := recFixedSize + opSize*len(redo)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payloadLen))
+	crcAt := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // crc patched below
+	payloadAt := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, ts)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(redo)))
+	for _, r := range redo {
+		buf = append(buf, byte(r.Op))
+		buf = binary.LittleEndian.AppendUint64(buf, r.Key)
+		buf = binary.LittleEndian.AppendUint64(buf, r.Val)
+	}
+	crc := crc32.Checksum(buf[payloadAt:], castagnoli)
+	binary.LittleEndian.PutUint32(buf[crcAt:], crc)
+	return buf
+}
+
+// decodeRecords parses data (a segment file image) into its longest valid
+// prefix of records. validLen is the byte length of that prefix (including
+// the header); torn reports that something followed it — a partial or
+// corrupt record, which recovery truncates away.
+func decodeRecords(data []byte) (recs []record, validLen int, torn bool) {
+	if len(data) < segHeaderSize || string(data[:8]) != segMagic ||
+		binary.LittleEndian.Uint32(data[8:12]) != formatVersion {
+		// Unrecognizable header: nothing in the file is trustworthy.
+		return nil, 0, len(data) > 0
+	}
+	off := segHeaderSize
+	for {
+		if off == len(data) {
+			return recs, off, false
+		}
+		if len(data)-off < recFrameSize {
+			return recs, off, true
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if payloadLen < recFixedSize || payloadLen > maxRecordPayload ||
+			len(data)-off-recFrameSize < payloadLen {
+			return recs, off, true
+		}
+		payload := data[off+recFrameSize : off+recFrameSize+payloadLen]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return recs, off, true
+		}
+		ts := binary.LittleEndian.Uint64(payload)
+		n := int(binary.LittleEndian.Uint32(payload[8:]))
+		if recFixedSize+opSize*n != payloadLen {
+			return recs, off, true
+		}
+		redo := make([]stm.RedoRec, n)
+		p := recFixedSize
+		for i := 0; i < n; i++ {
+			op := stm.RedoOp(payload[p])
+			if op != stm.RedoInsert && op != stm.RedoDelete {
+				return recs, off, true
+			}
+			redo[i] = stm.RedoRec{
+				Op:  op,
+				Key: binary.LittleEndian.Uint64(payload[p+1:]),
+				Val: binary.LittleEndian.Uint64(payload[p+9:]),
+			}
+			p += opSize
+		}
+		recs = append(recs, record{ts: ts, redo: redo})
+		off += recFrameSize + payloadLen
+	}
+}
+
+// ckptEntry is one checkpoint delta: a live pair, or a tombstone for a key
+// deleted since the previous checkpoint (incremental checkpoints only).
+type ckptEntry struct {
+	key, val uint64
+	tomb     bool
+}
+
+// encodeCheckpoint renders a whole checkpoint file image. prevTs is the
+// base the entries were diffed against (0 for a full checkpoint).
+func encodeCheckpoint(ts, prevTs uint64, full bool, entries []ckptEntry) []byte {
+	buf := make([]byte, 0, ckptHeaderSize+ckptEntrySize*len(entries)+4)
+	buf = append(buf, ckptMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
+	kind := byte(ckptKindIncr)
+	if full {
+		kind = ckptKindFull
+		prevTs = 0
+	}
+	buf = append(buf, kind, 0, 0, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, ts)
+	buf = binary.LittleEndian.AppendUint64(buf, prevTs)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(entries)))
+	for _, e := range entries {
+		flag := byte(1)
+		if e.tomb {
+			flag = 2
+		}
+		buf = append(buf, flag)
+		buf = binary.LittleEndian.AppendUint64(buf, e.key)
+		buf = binary.LittleEndian.AppendUint64(buf, e.val)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[8:], castagnoli))
+}
+
+// readCheckpoint loads and validates one checkpoint file. Any framing or
+// checksum violation makes the whole file invalid — unlike a segment, a
+// checkpoint is one atomic unit (its deltas are meaningless truncated).
+func readCheckpoint(path string) (ts, prevTs uint64, full bool, entries []ckptEntry, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, false, nil, err
+	}
+	if len(data) < ckptHeaderSize+4 || string(data[:8]) != ckptMagic ||
+		binary.LittleEndian.Uint32(data[8:12]) != formatVersion {
+		return 0, 0, false, nil, fmt.Errorf("wal: %s: bad checkpoint header", path)
+	}
+	kind := data[12]
+	if kind != ckptKindFull && kind != ckptKindIncr {
+		return 0, 0, false, nil, fmt.Errorf("wal: %s: bad checkpoint kind %d", path, kind)
+	}
+	ts = binary.LittleEndian.Uint64(data[16:])
+	prevTs = binary.LittleEndian.Uint64(data[24:])
+	count := binary.LittleEndian.Uint64(data[32:])
+	want := ckptHeaderSize + ckptEntrySize*int(count) + 4
+	if count > maxRecordPayload || len(data) != want {
+		return 0, 0, false, nil, fmt.Errorf("wal: %s: truncated checkpoint", path)
+	}
+	body := data[:len(data)-4]
+	crc := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body[8:], castagnoli) != crc {
+		return 0, 0, false, nil, fmt.Errorf("wal: %s: checkpoint checksum mismatch", path)
+	}
+	entries = make([]ckptEntry, count)
+	p := ckptHeaderSize
+	for i := range entries {
+		flag := data[p]
+		if flag != 1 && flag != 2 {
+			return 0, 0, false, nil, fmt.Errorf("wal: %s: bad checkpoint entry flag %d", path, flag)
+		}
+		entries[i] = ckptEntry{
+			key:  binary.LittleEndian.Uint64(data[p+1:]),
+			val:  binary.LittleEndian.Uint64(data[p+9:]),
+			tomb: flag == 2,
+		}
+		p += ckptEntrySize
+	}
+	return ts, prevTs, kind == ckptKindFull, entries, nil
+}

@@ -1,0 +1,181 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/stm"
+)
+
+// segInfo tracks one on-disk segment of a stream.
+type segInfo struct {
+	index uint64
+	path  string
+	maxTs uint64 // highest commit ts of any record in the segment
+}
+
+// stream is one shard's log: the stm.CommitObserver installed on that
+// shard's TM instance. ObserveCommit encodes the committed redo into an
+// in-memory buffer under the stream mutex — the only work done inside the
+// commit critical section under the SyncNone/SyncGroup policies — and the
+// Log's group-commit flusher moves buffers to disk. Under SyncEveryCommit
+// the committing thread itself writes and fsyncs before its commit becomes
+// visible to conflicting transactions.
+//
+// Within a stream the buffer order is the shard's commit observation order,
+// so the on-disk byte sequence — and any crash-cut prefix of it — is a
+// causally consistent prefix of that shard's committed history.
+type stream struct {
+	l     *Log
+	shard int
+	dir   string
+
+	mu       sync.Mutex
+	buf      []byte // encoded records not yet written to the file
+	f        *os.File
+	seg      segInfo   // active segment
+	done     []segInfo // completed segments, oldest first
+	segBytes int
+	err      error // sticky I/O error; Log.Err surfaces it
+}
+
+func segPath(dir string, index uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.seg", index))
+}
+
+// openSegment starts segment index in s.dir. Caller holds s.mu.
+func (s *stream) openSegment(index uint64) error {
+	f, err := os.OpenFile(segPath(s.dir, index), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := appendSegHeader(nil, s.shard)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if s.l.opts.Policy != SyncNone {
+		// The new entry must survive power loss before any truncation
+		// decision treats this segment as the stream's durable tail.
+		if err := syncDir(s.dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	s.f = f
+	s.seg = segInfo{index: index, path: f.Name()}
+	s.segBytes = len(hdr)
+	return nil
+}
+
+// ObserveCommit implements stm.CommitObserver. It runs on the committing
+// goroutine while the transaction's write locks are held; see
+// stm.CommitObserver for why that placement makes prefix cuts of the stream
+// consistent. A severed (crashed) log drops the record — exactly what a
+// dead process would do.
+func (s *stream) ObserveCommit(ts uint64, redo []stm.RedoRec) {
+	if s.l.severed.Load() {
+		s.l.droppedAppends.Add(1)
+		return
+	}
+	s.mu.Lock()
+	s.buf = appendRecord(s.buf, ts, redo)
+	if ts > s.seg.maxTs {
+		s.seg.maxTs = ts
+	}
+	s.l.records.Add(1)
+	if s.l.opts.Policy == SyncEveryCommit {
+		s.flushLocked(true)
+	}
+	s.mu.Unlock()
+}
+
+// flushLocked writes the buffer to the active segment (fsyncing it when
+// sync is set) and rotates to a fresh segment once the active one exceeds
+// the configured size. Caller holds s.mu.
+func (s *stream) flushLocked(sync bool) {
+	if s.err != nil || s.f == nil {
+		s.buf = s.buf[:0]
+		return
+	}
+	if len(s.buf) > 0 {
+		n, err := s.f.Write(s.buf)
+		s.segBytes += n
+		s.l.bytesAppended.Add(uint64(n))
+		if err != nil {
+			s.err = err
+			return
+		}
+		s.buf = s.buf[:0]
+	}
+	if sync {
+		if err := s.f.Sync(); err != nil {
+			s.err = err
+			return
+		}
+		s.l.fsyncs.Add(1)
+	}
+	if s.segBytes >= s.l.opts.SegmentBytes {
+		// Rotation: a completed segment is made durable before it is
+		// sealed (except under SyncNone, which never fsyncs), then a
+		// fresh segment becomes the append target.
+		if !sync && s.l.opts.Policy != SyncNone {
+			if err := s.f.Sync(); err != nil {
+				s.err = err
+				return
+			}
+			s.l.fsyncs.Add(1)
+		}
+		if err := s.f.Close(); err != nil {
+			s.err = err
+			return
+		}
+		s.done = append(s.done, s.seg)
+		if err := s.openSegment(s.seg.index + 1); err != nil {
+			s.err = err
+			s.f = nil
+		}
+	}
+}
+
+// truncateBelow removes completed segments whose every record's commit ts
+// lies strictly below ts — they are fully covered by a checkpoint at ts.
+// Returns how many segments were deleted.
+func (s *stream) truncateBelow(ts uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.done[:0]
+	removed := 0
+	for _, seg := range s.done {
+		if seg.maxTs < ts {
+			if err := os.Remove(seg.path); err != nil && s.err == nil {
+				s.err = err
+				kept = append(kept, seg)
+				continue
+			}
+			removed++
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	s.done = kept
+	return removed
+}
+
+// closeLocked flushes (unless the log was severed) and closes the file.
+func (s *stream) close(severed bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !severed {
+		s.flushLocked(s.l.opts.Policy != SyncNone)
+	}
+	if s.f != nil {
+		if err := s.f.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+		s.f = nil
+	}
+	return s.err
+}

@@ -1,0 +1,528 @@
+// Package wal layers crash-consistent persistence over the transactional
+// maps: a group-committed, checksummed, segment-rotating write-ahead log of
+// committed write-sets, incremental checkpoints taken as whole-system
+// snapshots at frozen timestamps, and recovery that rebuilds the newest
+// valid checkpoint plus the log suffix after a process death.
+//
+// # Design
+//
+// Durability is an observer of the commit protocol, never a participant.
+// Each shard's TM instance is configured with a stm.CommitObserver (one
+// stream per shard) that receives the transaction's logical redo records —
+// captured by the wal.Map wrapper via stm.LogRedo — together with the
+// commit timestamp, at the commit linearization point. The observer appends
+// to an in-memory buffer; a group-commit flusher moves buffers to disk on a
+// short interval (policy SyncGroup fsyncs each flush, SyncEveryCommit
+// fsyncs inside the commit itself, SyncNone leaves writes to the OS). The
+// hot path never waits on the disk except under SyncEveryCommit.
+//
+// Checkpoints reuse the sharding snapshot machinery: one increment of the
+// shared clock (shard.System.FreezeTs) freezes a timestamp ts, every shard
+// is exported by stm.SnapshotThread.SnapshotAt(ts) — so the image is a
+// consistent cut of the whole sharded system without stopping writers — and
+// only the pairs changed since the previous checkpoint are written
+// (tombstones record deletions). Log segments whose records all commit
+// below ts are deleted afterwards; a configurable cadence of full
+// checkpoints bounds the incremental chain.
+//
+// Recovery loads the newest valid full checkpoint plus its consecutive
+// valid increments, then replays every surviving log record with commit
+// ts >= the checkpoint ts, merged across shard streams in commit-timestamp
+// order (stable, so equal-timestamp records — which never conflict — keep
+// their per-stream order). A torn tail (partial record, flipped bit) cuts
+// its stream at the last valid record: recovery truncates the torn suffix
+// and removes any later segments of that stream, so a re-crash re-replays
+// the identical state (idempotent re-replay). The rebuilt system restarts
+// its shared clock above every persisted timestamp, so post-recovery
+// commits extend the log's timestamp order.
+//
+// # Guarantees
+//
+// Committed-and-synced is durable: everything before a successful Sync (and
+// every commit under SyncEveryCommit) survives any crash. Everything else
+// recovers to a prefix-consistent cut: per stream, a prefix of the commit
+// observation order — which respects write-write conflicts and read-from
+// dependencies — and across streams, a vector of such prefixes (shards
+// share no keys, and cross-shard update transactions do not exist, so the
+// vector is a consistent cut of the whole system).
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dctl"
+	"repro/internal/ds"
+	"repro/internal/ds/abtree"
+	"repro/internal/ds/avl"
+	"repro/internal/ds/extbst"
+	"repro/internal/ds/hashmap"
+	"repro/internal/gclock"
+	"repro/internal/mvstm"
+	"repro/internal/shard"
+	"repro/internal/stm"
+	"repro/internal/tl2"
+)
+
+// SyncPolicy selects when the log reaches stable storage.
+type SyncPolicy int
+
+const (
+	// SyncGroup (the default): the group-commit flusher writes and fsyncs
+	// all streams every GroupInterval. Bounded loss window, near-zero
+	// commit-path cost.
+	SyncGroup SyncPolicy = iota
+	// SyncNone: buffers are written on the group interval but never
+	// fsynced. Survives process death (the OS still holds the pages),
+	// not power loss. The baseline for measuring fsync cost.
+	SyncNone
+	// SyncEveryCommit: each commit writes and fsyncs its own record
+	// before becoming visible to conflicting transactions. Zero loss of
+	// acknowledged commits, full fsync latency on the commit path.
+	SyncEveryCommit
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNone:
+		return "none"
+	case SyncEveryCommit:
+		return "every"
+	default:
+		return "group"
+	}
+}
+
+// PolicyByName maps the multibench/stmtorture flag spelling to a policy.
+func PolicyByName(name string) (SyncPolicy, bool) {
+	switch name {
+	case "group", "":
+		return SyncGroup, true
+	case "none":
+		return SyncNone, true
+	case "every", "every-commit":
+		return SyncEveryCommit, true
+	}
+	return SyncGroup, false
+}
+
+// Options configures OpenWith. The zero value of every field selects a
+// sensible default (hashmap over group-committed multiverse shards).
+type Options struct {
+	// Dir is the log directory (created if absent). Required.
+	Dir string
+	// Backend is the TM under the log: "multiverse" (default),
+	// "multiverse-eager", "tl2" or "dctl" — the snapshot-capable TMs.
+	Backend string
+	// Shards is the number of TM instances / log streams (default 1).
+	Shards int
+	// DS picks the per-shard structure: "hashmap" (default), "abtree",
+	// "avl" or "extbst".
+	DS string
+	// Capacity hints the total key capacity (default 1<<16), divided
+	// across shards.
+	Capacity int
+	// LockTable sizes each shard's lock table (default 1<<16).
+	LockTable int
+	// SegmentBytes rotates a stream's segment past this size (default
+	// 4 MiB).
+	SegmentBytes int
+	// Policy is the fsync policy (default SyncGroup).
+	Policy SyncPolicy
+	// GroupInterval is the flusher period (default 2ms).
+	GroupInterval time.Duration
+	// FullEvery writes a full checkpoint after this many incremental ones
+	// (default 8), bounding the recovery chain.
+	FullEvery int
+	// CheckpointRetries bounds freeze-and-rescan attempts of one
+	// Checkpoint call before it reports starvation (default 16; only the
+	// versionless baselines ever get near it).
+	CheckpointRetries int
+}
+
+func (o *Options) fill() error {
+	if o.Dir == "" {
+		return errors.New("wal: Options.Dir is required")
+	}
+	if o.Backend == "" {
+		o.Backend = "multiverse"
+	}
+	if o.Shards == 0 {
+		o.Shards = 1
+	}
+	if o.Shards < 1 {
+		return fmt.Errorf("wal: bad shard count %d", o.Shards)
+	}
+	if o.DS == "" {
+		o.DS = "hashmap"
+	}
+	if o.Capacity == 0 {
+		o.Capacity = 1 << 16
+	}
+	if o.LockTable == 0 {
+		o.LockTable = 1 << 16
+	}
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.GroupInterval == 0 {
+		o.GroupInterval = 2 * time.Millisecond
+	}
+	if o.FullEvery == 0 {
+		o.FullEvery = 8
+	}
+	if o.CheckpointRetries == 0 {
+		o.CheckpointRetries = 16
+	}
+	return nil
+}
+
+// newDS mirrors bench.NewDS for the structures the log supports (bench
+// depends on wal, so wal keeps its own small factory).
+func newDS(name string, capacity int) (ds.Map, error) {
+	switch name {
+	case "hashmap":
+		return hashmap.New(10*capacity, capacity), nil
+	case "abtree":
+		return abtree.New(capacity), nil
+	case "avl":
+		return avl.New(capacity), nil
+	case "extbst":
+		return extbst.New(capacity), nil
+	}
+	return nil, fmt.Errorf("wal: unknown data structure %q", name)
+}
+
+// backendFor builds shard i's TM with the stream observer installed.
+func backendFor(o Options, streams []*stream) (shard.Backend, error) {
+	switch o.Backend {
+	case "multiverse", "multiverse-eager":
+		cfg := mvstm.Config{LockTableSize: o.LockTable}
+		if o.Backend == "multiverse-eager" {
+			cfg.K1, cfg.K2, cfg.K3, cfg.S = 1, 2, 2, 2
+		}
+		return func(i int, clock *gclock.Clock) stm.System {
+			c := cfg
+			c.Clock = clock
+			c.OnCommit = streams[i]
+			return mvstm.New(c)
+		}, nil
+	case "tl2":
+		return func(i int, clock *gclock.Clock) stm.System {
+			return tl2.New(tl2.Config{LockTableSize: o.LockTable, Clock: clock, OnCommit: streams[i]})
+		}, nil
+	case "dctl":
+		return func(i int, clock *gclock.Clock) stm.System {
+			return dctl.New(dctl.Config{LockTableSize: o.LockTable, Clock: clock, OnCommit: streams[i]})
+		}, nil
+	}
+	return nil, fmt.Errorf("wal: backend %q cannot carry a log (want multiverse, multiverse-eager, tl2 or dctl)", o.Backend)
+}
+
+// Stats is a snapshot of the log's counters.
+type Stats struct {
+	Records        uint64 // commit records appended (buffered or written)
+	BytesAppended  uint64 // bytes written to segment files
+	Fsyncs         uint64
+	DroppedAppends uint64 // records dropped after Crash severed the log
+	Checkpoints    uint64
+	LastCkptTs     uint64
+	LastCkptPause  time.Duration // wall time of the last Checkpoint call
+	RecoveredPairs int           // pairs loaded into the system at Open
+	RecoveredTs    uint64        // checkpoint ts recovery started from
+}
+
+// Log owns a sharded TM system, its per-shard log streams, and the
+// checkpointer. It is created by Open/OpenWith; the returned ds.Map is the
+// logging wrapper bound to it.
+type Log struct {
+	opts    Options
+	sys     *shard.System
+	inner   *shard.Map
+	perDS   []ds.Map // each shard's raw structure (checkpoint scans)
+	streams []*stream
+	snapThs []stm.SnapshotThread // checkpointer's per-shard pinned readers
+
+	severed   atomic.Bool
+	stopFlush chan struct{}
+	flushWG   sync.WaitGroup
+
+	// Checkpoint state, guarded by mu (Checkpoint and Close serialize);
+	// lastCkptTs is atomic because Stats may poll it from any goroutine.
+	mu            sync.Mutex
+	lastImage     map[uint64]uint64
+	lastCkptTs    atomic.Uint64
+	incrSinceFull int
+	ckptFiles     []ckptOnDisk // valid on-disk checkpoints, ascending ts
+	legacySegs    []segInfo    // pre-recovery segments (possibly of dropped shard dirs)
+	stage         []ds.KV      // per-shard snapshot staging buffer
+
+	records        atomic.Uint64
+	bytesAppended  atomic.Uint64
+	fsyncs         atomic.Uint64
+	droppedAppends atomic.Uint64
+	checkpoints    atomic.Uint64
+	lastCkptPause  atomic.Int64
+	recoveredPairs int
+	recoveredTs    uint64
+
+	closed bool
+}
+
+type ckptOnDisk struct {
+	ts   uint64
+	full bool
+	path string
+}
+
+// Open opens (creating or recovering) a durable map in dir over shards
+// instances of the named backend, with default options. See OpenWith.
+func Open(dir, backend string, shards int) (ds.Map, *Log, error) {
+	return OpenWith(Options{Dir: dir, Backend: backend, Shards: shards})
+}
+
+// OpenWith opens the log directory described by opts. If dir holds a
+// previous incarnation's state, OpenWith recovers it — newest valid
+// checkpoint chain plus replayed log suffix — into the fresh system before
+// returning; the shard count may differ from the previous incarnation's
+// (records route by key, not by stream). The returned ds.Map logs every
+// mutation; drive it with threads registered on Log.System().
+func OpenWith(opts Options) (m ds.Map, l *Log, err error) {
+	if err := opts.fill(); err != nil {
+		return nil, nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+
+	// Phase 1: read (and repair) what a previous incarnation left behind.
+	rec, err := scanAndRepair(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	l = &Log{opts: opts, stopFlush: make(chan struct{})}
+	l.recoveredPairs = len(rec.image)
+	l.recoveredTs = rec.ckptTs
+	l.lastCkptTs.Store(rec.ckptTs)
+	l.ckptFiles = rec.ckpts
+	l.legacySegs = rec.liveSegs
+	l.lastImage = rec.image
+	// The recovered image is checkpoint chain *plus replayed log suffix*,
+	// so it is not the state any on-disk checkpoint describes: an
+	// incremental diff against it could not be chained at the next
+	// recovery. The first checkpoint of a new incarnation is therefore
+	// always full.
+	l.incrSinceFull = l.opts.FullEvery
+
+	// Phase 2: streams, each appending a fresh segment after the highest
+	// existing one in its shard directory.
+	l.streams = make([]*stream, opts.Shards)
+	for i := range l.streams {
+		dir := filepath.Join(opts.Dir, fmt.Sprintf("shard-%03d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, err
+		}
+		s := &stream{l: l, shard: i, dir: dir}
+		s.mu.Lock()
+		err := s.openSegment(rec.nextSeg[dir])
+		s.mu.Unlock()
+		if err != nil {
+			return nil, nil, err
+		}
+		l.streams[i] = s
+	}
+
+	// Phase 3: the sharded system, clock restarted above every persisted
+	// timestamp so new commits extend the log's timestamp order.
+	backend, err := backendFor(opts, l.streams)
+	if err != nil {
+		return nil, nil, err
+	}
+	l.sys = shard.New(shard.Config{
+		Shards:     opts.Shards,
+		Backend:    backend,
+		ClockStart: rec.maxTs + 1,
+	})
+	per := opts.Capacity / opts.Shards
+	if per < 1024 {
+		per = 1024
+	}
+	l.perDS = make([]ds.Map, opts.Shards)
+	var dsErr error
+	l.inner = shard.NewMap(l.sys, func(i int) ds.Map {
+		d, err := newDS(opts.DS, per)
+		if err != nil {
+			dsErr = err
+			d, _ = newDS("hashmap", per)
+		}
+		l.perDS[i] = d
+		return d
+	})
+	if dsErr != nil {
+		l.sys.Close()
+		return nil, nil, dsErr
+	}
+	for i := 0; i < opts.Shards; i++ {
+		st, ok := l.sys.Shard(i).Register().(stm.SnapshotThread)
+		if !ok {
+			l.sys.Close()
+			return nil, nil, fmt.Errorf("wal: backend %q has no snapshot support", opts.Backend)
+		}
+		l.snapThs = append(l.snapThs, st)
+	}
+
+	// Phase 4: load the recovered image. Raw inserts on the inner map
+	// append no redo, so the load is not re-logged (it is already durable
+	// in the checkpoint chain and surviving segments).
+	if len(rec.image) > 0 {
+		if err := l.bulkLoad(rec.image); err != nil {
+			l.sys.Close()
+			return nil, nil, err
+		}
+	}
+
+	// Phase 5: group-commit flusher (SyncEveryCommit writes inline, but
+	// the flusher still drives rotation-after-idle and SyncNone writes).
+	l.flushWG.Add(1)
+	go l.flushLoop()
+
+	return &Map{inner: l.inner}, l, nil
+}
+
+// bulkLoad installs image into the fresh system, batching keys per shard so
+// each update transaction stays shard-confined.
+func (l *Log) bulkLoad(image map[uint64]uint64) error {
+	byShard := make([][]ds.KV, l.sys.NumShards())
+	for k, v := range image {
+		s := l.sys.ShardOf(k)
+		byShard[s] = append(byShard[s], ds.KV{Key: k, Val: v})
+	}
+	th := l.sys.RegisterSharded()
+	defer th.Unregister()
+	const batch = 256
+	for _, pairs := range byShard {
+		for len(pairs) > 0 {
+			n := min(batch, len(pairs))
+			chunk := pairs[:n]
+			pairs = pairs[n:]
+			if !th.Atomic(func(tx stm.Txn) {
+				for _, kv := range chunk {
+					l.inner.InsertTx(tx, kv.Key, kv.Val)
+				}
+			}) {
+				return errors.New("wal: recovery load transaction starved")
+			}
+		}
+	}
+	return nil
+}
+
+func (l *Log) flushLoop() {
+	defer l.flushWG.Done()
+	t := time.NewTicker(l.opts.GroupInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopFlush:
+			return
+		case <-t.C:
+			if l.severed.Load() {
+				return
+			}
+			sync := l.opts.Policy == SyncGroup
+			for _, s := range l.streams {
+				s.mu.Lock()
+				s.flushLocked(sync)
+				s.mu.Unlock()
+			}
+		}
+	}
+}
+
+// System returns the underlying sharded TM; register worker threads here.
+func (l *Log) System() *shard.System { return l.sys }
+
+// Sync is a durability barrier: it writes and fsyncs every stream's buffer
+// regardless of policy. On return, every commit observed before Sync was
+// called survives any crash.
+func (l *Log) Sync() error {
+	if l.severed.Load() {
+		return errors.New("wal: log is severed")
+	}
+	for _, s := range l.streams {
+		s.mu.Lock()
+		s.flushLocked(true)
+		s.mu.Unlock()
+	}
+	return l.Err()
+}
+
+// Crash severs the log, simulating the instant of a process death: the
+// in-memory group-commit buffers are lost, segment files stay exactly as
+// last written, and every subsequent append is dropped. The in-memory
+// system keeps running (a torture harness lets traffic drain before
+// abandoning it); Close after Crash closes files without flushing.
+// Recovery is exercised by reopening the directory.
+func (l *Log) Crash() {
+	l.severed.Store(true)
+}
+
+// Err returns the first I/O error any stream has hit.
+func (l *Log) Err() error {
+	for _, s := range l.streams {
+		s.mu.Lock()
+		err := s.err
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats snapshots the log counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Records:        l.records.Load(),
+		BytesAppended:  l.bytesAppended.Load(),
+		Fsyncs:         l.fsyncs.Load(),
+		DroppedAppends: l.droppedAppends.Load(),
+		Checkpoints:    l.checkpoints.Load(),
+		LastCkptTs:     l.lastCkptTs.Load(),
+		LastCkptPause:  time.Duration(l.lastCkptPause.Load()),
+		RecoveredPairs: l.recoveredPairs,
+		RecoveredTs:    l.recoveredTs,
+	}
+}
+
+// Close flushes (unless severed), stops the flusher, closes every segment
+// file, and shuts the TM system down.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	close(l.stopFlush)
+	l.flushWG.Wait()
+	severed := l.severed.Load()
+	var first error
+	for _, s := range l.streams {
+		if err := s.close(severed); err != nil && first == nil {
+			first = err
+		}
+	}
+	l.severed.Store(true) // post-close appends are drops, not writes to closed files
+	for _, st := range l.snapThs {
+		st.Unregister()
+	}
+	l.sys.Close()
+	return first
+}
