@@ -42,6 +42,17 @@
 // partitioned checker) for mid-traffic crashes:
 //
 //	stmtorture -tm multiverse -workload crash -dur 30s -threads 4
+//
+// The faultdisk workload (also disk-bound, only runs when named) tortures
+// the WAL's failure plane instead of its crash path: seeded fault schedules
+// (internal/fault) fail writes, fsyncs, opens and checkpoint images *while
+// the process lives*, rotating degraded mode (stall/reject) and fsync
+// policy per round. Healed rounds then repair the disk, require Sync to
+// return nil, crash, recover, and demand the exact acked state back (the
+// no-silent-loss invariant); hard rounds crash mid-degraded and audit
+// prefix consistency of whatever survived:
+//
+//	stmtorture -tm multiverse -workload faultdisk -dur 30s -threads 4
 package main
 
 import (
@@ -73,7 +84,7 @@ type report struct {
 
 func main() {
 	tm := flag.String("tm", "multiverse", "TM under torture")
-	wl := flag.String("workload", "all", "bank, pairs, ledger, hist, crash, or all (crash only runs when named)")
+	wl := flag.String("workload", "all", "bank, pairs, ledger, hist, crash, faultdisk, or all (crash and faultdisk only run when named)")
 	threads := flag.Int("threads", 4, "mutator threads per workload")
 	dur := flag.Duration("dur", 5*time.Second, "torture duration (per workload)")
 	seed := flag.Uint64("seed", 1, "hist: base seed (round r uses a seed derived from it)")
@@ -152,6 +163,9 @@ func main() {
 	}
 	if *wl == "crash" {
 		ok = crashTorture(crashConfig{tm: *tm, threads: *threads, seed: *seed, dur: *dur}) && ok
+	}
+	if *wl == "faultdisk" {
+		ok = faultdiskTorture(faultdiskConfig{tm: *tm, threads: *threads, seed: *seed, dur: *dur}) && ok
 	}
 	if !ok {
 		fmt.Println("TORTURE FAILED: violations detected")

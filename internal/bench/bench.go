@@ -121,6 +121,8 @@ type Result struct {
 	Fsyncs        uint64        // fsync calls issued
 	CkptPause     time.Duration // wall time of the mid-window checkpoint (avg over trials)
 	CkptOK        bool          // the mid-window checkpoint served (versionless TMs may starve)
+	WALRetries    uint64        // failed flush attempts retried by the failure plane
+	WALDegraded   uint64        // healthy→degraded transitions over the window
 }
 
 // Run executes the configured benchmark and returns averaged results.
@@ -148,6 +150,8 @@ func Run(cfg Config) Result {
 		agg.Fsyncs += r.Fsyncs
 		agg.CkptPause += r.CkptPause
 		agg.CkptOK = agg.CkptOK && r.CkptOK
+		agg.WALRetries += r.WALRetries
+		agg.WALDegraded += r.WALDegraded
 		if r.MaxHeapKB > agg.MaxHeapKB {
 			agg.MaxHeapKB = r.MaxHeapKB
 		}
@@ -484,6 +488,8 @@ func runTrial(cfg Config, seed uint64) Result {
 		walAfter := plog.Stats()
 		res.WALRecords = walAfter.Records - walBefore.Records
 		res.Fsyncs = walAfter.Fsyncs - walBefore.Fsyncs
+		res.WALRetries = walAfter.FlushFailures - walBefore.FlushFailures
+		res.WALDegraded = walAfter.Degradations - walBefore.Degradations
 		if ops > 0 {
 			res.LogBytesPerOp = float64(walAfter.BytesAppended-walBefore.BytesAppended) / float64(ops)
 		}
@@ -547,7 +553,8 @@ func (r Result) String() string {
 
 // PersistRow renders the durability-overhead line of a persistence run
 // (Config.Persist != ""): the fsync policy, WAL traffic normalized per op,
-// and the mid-window checkpoint pause.
+// the mid-window checkpoint pause, and the failure plane's activity (flush
+// retries and degraded episodes — nonzero only when the disk misbehaved).
 func (r Result) PersistRow() string {
 	if r.Config.Persist == "" {
 		return ""
@@ -556,8 +563,8 @@ func (r Result) PersistRow() string {
 	if !r.CkptOK {
 		ck += " (starved)"
 	}
-	return fmt.Sprintf("    persist policy=%-6s logB/op=%-8.1f wal-records=%-9d fsyncs=%-7d ckpt-pause=%s\n",
-		r.Config.Persist, r.LogBytesPerOp, r.WALRecords, r.Fsyncs, ck)
+	return fmt.Sprintf("    persist policy=%-6s logB/op=%-8.1f wal-records=%-9d fsyncs=%-7d retries=%-5d degraded=%-4d ckpt-pause=%s\n",
+		r.Config.Persist, r.LogBytesPerOp, r.WALRecords, r.Fsyncs, r.WALRetries, r.WALDegraded, ck)
 }
 
 // ShardRows renders the per-shard observability lines of a sharded run:

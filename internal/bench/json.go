@@ -43,6 +43,8 @@ type RunRecord struct {
 	Fsyncs        uint64  `json:"fsyncs,omitempty"`
 	CkptPauseNs   int64   `json:"ckpt_pause_ns,omitempty"`
 	CkptStarved   bool    `json:"ckpt_starved,omitempty"`
+	WALRetries    uint64  `json:"wal_retries,omitempty"`
+	WALDegraded   uint64  `json:"wal_degraded,omitempty"`
 
 	// Per-shard commit/abort splits (sharded runs, last trial's window).
 	ShardCommits []uint64 `json:"shard_commits,omitempty"`
@@ -97,6 +99,8 @@ func emitJSON(r Result) {
 		rec.Fsyncs = r.Fsyncs
 		rec.CkptPauseNs = r.CkptPause.Nanoseconds()
 		rec.CkptStarved = !r.CkptOK
+		rec.WALRetries = r.WALRetries
+		rec.WALDegraded = r.WALDegraded
 	}
 	for _, st := range r.ShardStats {
 		rec.ShardCommits = append(rec.ShardCommits, st.Commits)

@@ -1,0 +1,294 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func writeN(t *testing.T, fsys FS, path string, n, size int) (wrote int, firstErr error) {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	buf := make([]byte, size)
+	for i := 0; i < n; i++ {
+		if _, err := f.Write(buf); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		wrote++
+	}
+	return wrote, firstErr
+}
+
+// TestKthWriteOneShot: a Times=1 rule fires on exactly the k-th matching
+// write and never again.
+func TestKthWriteOneShot(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, 1, Rule{Ops: OpWrite, Kth: 3, Times: 1})
+	wrote, err := writeN(t, inj, filepath.Join(dir, "f"), 5, 10)
+	if wrote != 4 {
+		t.Fatalf("wrote %d writes, want 4 (one injected)", wrote)
+	}
+	if !errors.Is(err, EIO) {
+		t.Fatalf("err = %v, want EIO", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Op != OpWrite {
+		t.Fatalf("err %v not a write *Error", err)
+	}
+	if inj.Injected() != 1 {
+		t.Fatalf("Injected = %d, want 1", inj.Injected())
+	}
+}
+
+// TestStickyUntilHeal: Times=0 fires on every armed match until Heal.
+func TestStickyUntilHeal(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, 1, Rule{Ops: OpWrite, Kth: 2})
+	path := filepath.Join(dir, "f")
+	wrote, err := writeN(t, inj, path, 5, 10)
+	if wrote != 1 || !errors.Is(err, EIO) {
+		t.Fatalf("wrote=%d err=%v, want 1 write then sticky EIO", wrote, err)
+	}
+	inj.Heal()
+	if wrote, err := writeN(t, inj, path, 3, 10); wrote != 3 || err != nil {
+		t.Fatalf("post-heal wrote=%d err=%v, want all 3 clean", wrote, err)
+	}
+}
+
+// TestAfterBytesBudget: an AfterBytes rule lets exactly the budget through
+// and fails the write that would exceed it — ENOSPC shape.
+func TestAfterBytesBudget(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, 1, Rule{Ops: OpWrite, AfterBytes: 25, Err: ENOSPC})
+	path := filepath.Join(dir, "f")
+	wrote, err := writeN(t, inj, path, 5, 10)
+	if wrote != 2 {
+		t.Fatalf("wrote %d, want 2 (20 bytes under the 25-byte budget)", wrote)
+	}
+	if !errors.Is(err, ENOSPC) || !Transient(err) {
+		t.Fatalf("err = %v, want transient ENOSPC", err)
+	}
+	st, statErr := os.Stat(path)
+	if statErr != nil || st.Size() != 20 {
+		t.Fatalf("file size %v err=%v, want exactly 20 bytes on disk", st.Size(), statErr)
+	}
+}
+
+// TestShortWrite: a Short rule writes a proper prefix — the file really is
+// torn — and reports the short count alongside the error, deterministically
+// for a fixed seed.
+func TestShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	sizes := make(map[int64]int)
+	for run := 0; run < 3; run++ {
+		path := filepath.Join(dir, "f")
+		os.Remove(path)
+		inj := NewInjector(OS, 42, Rule{Ops: OpWrite, Kth: 1, Times: 1, Short: true})
+		f, err := inj.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, werr := f.Write(make([]byte, 100))
+		f.Close()
+		if werr == nil || n <= 0 || n >= 100 {
+			t.Fatalf("short write n=%d err=%v, want proper prefix with error", n, werr)
+		}
+		st, _ := os.Stat(path)
+		if st.Size() != int64(n) {
+			t.Fatalf("file holds %d bytes, write reported %d", st.Size(), n)
+		}
+		sizes[st.Size()]++
+	}
+	if len(sizes) != 1 {
+		t.Fatalf("same seed produced different torn sizes: %v", sizes)
+	}
+}
+
+// TestFsyncOneShotVsSticky covers the two fsync failure shapes the WAL
+// distinguishes.
+func TestFsyncOneShotVsSticky(t *testing.T) {
+	dir := t.TempDir()
+	open := func(inj *Injector) File {
+		f, err := inj.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	inj := NewInjector(OS, 1, Rule{Ops: OpSync, Kth: 1, Times: 1})
+	f := open(inj)
+	if err := f.Sync(); !errors.Is(err, EIO) {
+		t.Fatalf("one-shot fsync err = %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("one-shot fired twice: %v", err)
+	}
+	f.Close()
+
+	inj = NewInjector(OS, 1, Rule{Ops: OpSync})
+	f = open(inj)
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, EIO) {
+			t.Fatalf("sticky fsync attempt %d err = %v", i, err)
+		}
+	}
+	f.Close()
+}
+
+// TestPathMatching: substring and base-name-glob matching confine a rule to
+// its target files.
+func TestPathMatching(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, 1, Rule{Ops: OpWrite, Path: "wal-"})
+	if _, err := writeN(t, inj, filepath.Join(dir, "wal-000.seg"), 1, 8); !errors.Is(err, EIO) {
+		t.Fatalf("matching path not injected: %v", err)
+	}
+	if _, err := writeN(t, inj, filepath.Join(dir, "ck-000.ckpt"), 1, 8); err != nil {
+		t.Fatalf("non-matching path injected: %v", err)
+	}
+	inj = NewInjector(OS, 1, Rule{Ops: OpWrite, Path: "*.ckpt"})
+	if _, err := writeN(t, inj, filepath.Join(dir, "ck-000.ckpt"), 1, 8); !errors.Is(err, EIO) {
+		t.Fatalf("glob path not injected: %v", err)
+	}
+	if _, err := writeN(t, inj, filepath.Join(dir, "wal-000.seg"), 1, 8); err != nil {
+		t.Fatalf("glob matched wrong file: %v", err)
+	}
+}
+
+// TestOpMaskSelectsCalls: rules fire only on their op kinds, across the
+// whole FS surface.
+func TestOpMaskSelectsCalls(t *testing.T) {
+	dir := t.TempDir()
+	real := filepath.Join(dir, "real")
+	if err := os.WriteFile(real, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(OS, 1, Rule{Ops: OpOpen | OpRename | OpReadDir})
+	if _, err := inj.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, EIO) {
+		t.Fatalf("open not injected: %v", err)
+	}
+	if err := inj.Rename(real, real+"2"); !errors.Is(err, EIO) {
+		t.Fatalf("rename not injected: %v", err)
+	}
+	if _, err := inj.ReadDir(dir); !errors.Is(err, EIO) {
+		t.Fatalf("readdir not injected: %v", err)
+	}
+	// Ops outside the mask pass through.
+	if _, err := inj.ReadFile(real); err != nil {
+		t.Fatalf("read injected but not in mask: %v", err)
+	}
+	if err := inj.Remove(real); err != nil {
+		t.Fatalf("remove injected but not in mask: %v", err)
+	}
+}
+
+// TestLatencyOnly: a Delay rule with no error slows the call but lets it
+// succeed.
+func TestLatencyOnly(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, 1, Rule{Ops: OpWrite, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	wrote, err := writeN(t, inj, filepath.Join(dir, "f"), 2, 4)
+	if wrote != 2 || err != nil {
+		t.Fatalf("latency-only rule failed the op: wrote=%d err=%v", wrote, err)
+	}
+	if el := time.Since(start); el < 40*time.Millisecond {
+		t.Fatalf("elapsed %v, want >= 40ms of injected latency", el)
+	}
+}
+
+// TestTrace: the op trace records calls and marks injected ones — the
+// substrate for "this op never happened" assertions in WAL tests.
+func TestTrace(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS, 1, Rule{Ops: OpSync, Kth: 1, Times: 1})
+	inj.Record(true)
+	f, err := inj.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("abc"))
+	f.Sync()
+	f.Close()
+	tr := inj.Trace()
+	want := []struct {
+		op  Op
+		inj bool
+	}{{OpOpen, false}, {OpWrite, false}, {OpSync, true}, {OpClose, false}}
+	if len(tr) != len(want) {
+		t.Fatalf("trace has %d entries, want %d: %+v", len(tr), len(want), tr)
+	}
+	for i, w := range want {
+		if tr[i].Op != w.op || tr[i].Injected != w.inj {
+			t.Fatalf("trace[%d] = %+v, want op=%v injected=%v", i, tr[i], w.op, w.inj)
+		}
+	}
+}
+
+// TestPassthroughIdentity: the OS FS and an empty-schedule injector behave
+// exactly like package os.
+func TestPassthroughIdentity(t *testing.T) {
+	for _, fsys := range []FS{OS, NewInjector(OS, 0)} {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "f")
+		f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if data, err := fsys.ReadFile(path); err != nil || string(data) != "hello" {
+			t.Fatalf("read back %q err=%v", data, err)
+		}
+		if err := fsys.Truncate(path, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := fsys.Rename(path, path+"2"); err != nil {
+			t.Fatal(err)
+		}
+		names, err := fsys.ReadDir(dir)
+		if err != nil || len(names) != 1 || names[0] != "f2" {
+			t.Fatalf("ReadDir = %v err=%v", names, err)
+		}
+		if err := fsys.Remove(path + "2"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fsys.MkdirAll(filepath.Join(dir, "a/b"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTransientClassification pins the retryable error set.
+func TestTransientClassification(t *testing.T) {
+	for _, err := range []error{EIO, ENOSPC, syscall.EINTR, syscall.EAGAIN} {
+		if !Transient(err) {
+			t.Fatalf("%v should be transient", err)
+		}
+		if !Transient(&Error{Op: OpWrite, Path: "x", Err: err}) {
+			t.Fatalf("wrapped %v should be transient", err)
+		}
+	}
+	for _, err := range []error{os.ErrNotExist, os.ErrClosed, syscall.EROFS, errors.New("opaque")} {
+		if Transient(err) {
+			t.Fatalf("%v should be permanent", err)
+		}
+	}
+}

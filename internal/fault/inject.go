@@ -1,0 +1,318 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Rule is one entry of an Injector's fault schedule. A rule matches a call
+// when the call's kind is in Ops and the path contains Path (or matches it
+// as a glob against the base name); each rule counts its own matching calls
+// independently. A matched rule *arms* once its trigger is reached and then
+// *fires* on every armed match up to Times:
+//
+//   - Kth arms the rule at its k-th matching call (1 = the first; 0 = armed
+//     from the start).
+//   - AfterBytes (writes only) arms the rule on the write that would push
+//     the rule's cumulative matched bytes past the budget — the shape of a
+//     filesystem running out of space.
+//   - Times bounds the number of fires (1 = one-shot; 0 = sticky: every
+//     armed match fires until Heal).
+//
+// What a fire does: sleep Delay if set, then — unless the rule is
+// latency-only (Err nil and not Short) — fail the call with Err (default
+// EIO) wrapped in *Error. Short write-fires first write a seeded-random
+// proper prefix of the buffer, producing a genuinely torn file tail, and
+// report the short count with the error, exactly as a real partial write
+// would.
+type Rule struct {
+	Ops        Op
+	Path       string
+	Kth        uint64
+	AfterBytes uint64
+	Times      int
+	Err        error
+	Short      bool
+	Delay      time.Duration
+}
+
+type ruleState struct {
+	Rule
+	latencyOnly bool   // Delay set, no error: the fire sleeps, the op proceeds
+	seen        uint64 // matching calls observed
+	bytes       uint64 // matched write bytes accepted before arming
+	fired       int
+}
+
+// OpRecord is one observed call in an Injector's trace.
+type OpRecord struct {
+	Op       Op
+	Path     string
+	Injected bool
+}
+
+// Injector wraps an FS with a deterministic, seeded fault schedule. All
+// decisions derive from the rule counters and the seed, never from time or
+// global state, so a fixed call sequence injects a fixed fault sequence.
+// Injector is safe for concurrent use; concurrency of the *callers* is the
+// only source of schedule nondeterminism (per-path rules sidestep it).
+type Injector struct {
+	inner FS
+
+	mu     sync.Mutex
+	rng    uint64
+	rules  []ruleState
+	healed bool
+	count  uint64
+	trace  []OpRecord
+	record bool
+}
+
+// NewInjector builds an injector over inner with the given schedule. The
+// seed drives only the randomized parts of a fire (short-write prefix
+// lengths); when and whether rules fire is fully determined by the rules.
+func NewInjector(inner FS, seed uint64, rules ...Rule) *Injector {
+	inj := &Injector{inner: inner, rng: seed ^ 0x9e3779b97f4a7c15}
+	for _, r := range rules {
+		latencyOnly := r.Err == nil && r.Delay > 0 && !r.Short
+		if r.Err == nil {
+			r.Err = EIO
+		}
+		inj.rules = append(inj.rules, ruleState{Rule: r, latencyOnly: latencyOnly})
+	}
+	return inj
+}
+
+// Heal disarms the whole schedule: every subsequent call passes through.
+// Counters and the trace are preserved for inspection.
+func (inj *Injector) Heal() {
+	inj.mu.Lock()
+	inj.healed = true
+	inj.mu.Unlock()
+}
+
+// Injected returns how many faults have fired.
+func (inj *Injector) Injected() uint64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.count
+}
+
+// Record enables the op trace: every observed call is appended, marked with
+// whether a fault fired on it. Tests use the trace to assert *absence*
+// properties (e.g. "no fsync was ever reissued on a poisoned segment").
+func (inj *Injector) Record(on bool) {
+	inj.mu.Lock()
+	inj.record = on
+	inj.mu.Unlock()
+}
+
+// Trace returns a copy of the recorded op trace.
+func (inj *Injector) Trace() []OpRecord {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make([]OpRecord, len(inj.trace))
+	copy(out, inj.trace)
+	return out
+}
+
+func (r *ruleState) matches(op Op, path string) bool {
+	if r.Ops&op == 0 {
+		return false
+	}
+	if r.Path == "" {
+		return true
+	}
+	if strings.Contains(path, r.Path) {
+		return true
+	}
+	ok, _ := filepath.Match(r.Path, filepath.Base(path))
+	return ok
+}
+
+// decide consults the schedule for one call. It returns the injected error
+// (nil = pass through), the sleep to apply, and for short writes the number
+// of prefix bytes to write before failing (-1 = not a short write).
+func (inj *Injector) decide(op Op, path string, n int) (err error, delay time.Duration, short int) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	short = -1
+	injected := false
+	if !inj.healed {
+		for i := range inj.rules {
+			r := &inj.rules[i]
+			if !r.matches(op, path) {
+				continue
+			}
+			r.seen++
+			armed := r.Kth == 0 || r.seen >= r.Kth
+			if r.AfterBytes > 0 {
+				if op != OpWrite {
+					armed = false
+				} else if r.bytes+uint64(n) <= r.AfterBytes {
+					r.bytes += uint64(n)
+					armed = false
+				}
+			}
+			if !armed || (r.Times > 0 && r.fired >= r.Times) {
+				continue
+			}
+			r.fired++
+			delay += r.Delay
+			if r.latencyOnly {
+				continue
+			}
+			if r.Short && op == OpWrite && n > 1 {
+				short = 1 + int(inj.nextRand()%uint64(n-1))
+			}
+			err = &Error{Op: op, Path: path, Err: r.Err}
+			injected = true
+			inj.count++
+			break
+		}
+	}
+	if inj.record {
+		inj.trace = append(inj.trace, OpRecord{Op: op, Path: path, Injected: injected})
+	}
+	return err, delay, short
+}
+
+func (inj *Injector) nextRand() uint64 {
+	inj.rng += 0x9e3779b97f4a7c15
+	x := inj.rng
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// --- FS implementation ---
+
+func (inj *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	err, delay, _ := inj.decide(OpOpen, name, 0)
+	sleep(delay)
+	if err != nil {
+		return nil, err
+	}
+	f, ferr := inj.inner.OpenFile(name, flag, perm)
+	if ferr != nil {
+		return nil, ferr
+	}
+	return &injFile{inj: inj, f: f, name: name}, nil
+}
+
+func (inj *Injector) ReadFile(name string) ([]byte, error) {
+	err, delay, _ := inj.decide(OpRead, name, 0)
+	sleep(delay)
+	if err != nil {
+		return nil, err
+	}
+	return inj.inner.ReadFile(name)
+}
+
+func (inj *Injector) Remove(name string) error {
+	err, delay, _ := inj.decide(OpRemove, name, 0)
+	sleep(delay)
+	if err != nil {
+		return err
+	}
+	return inj.inner.Remove(name)
+}
+
+func (inj *Injector) Rename(oldpath, newpath string) error {
+	err, delay, _ := inj.decide(OpRename, newpath, 0)
+	sleep(delay)
+	if err != nil {
+		return err
+	}
+	return inj.inner.Rename(oldpath, newpath)
+}
+
+func (inj *Injector) Truncate(name string, size int64) error {
+	err, delay, _ := inj.decide(OpTruncate, name, 0)
+	sleep(delay)
+	if err != nil {
+		return err
+	}
+	return inj.inner.Truncate(name, size)
+}
+
+func (inj *Injector) MkdirAll(path string, perm os.FileMode) error {
+	err, delay, _ := inj.decide(OpMkdir, path, 0)
+	sleep(delay)
+	if err != nil {
+		return err
+	}
+	return inj.inner.MkdirAll(path, perm)
+}
+
+func (inj *Injector) ReadDir(dir string) ([]string, error) {
+	err, delay, _ := inj.decide(OpReadDir, dir, 0)
+	sleep(delay)
+	if err != nil {
+		return nil, err
+	}
+	return inj.inner.ReadDir(dir)
+}
+
+type injFile struct {
+	inj  *Injector
+	f    File
+	name string
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	err, delay, short := f.inj.decide(OpWrite, f.name, len(p))
+	sleep(delay)
+	if err != nil {
+		if short > 0 && short < len(p) {
+			// Torn write: a random proper prefix reaches the file.
+			n, _ := f.f.Write(p[:short])
+			return n, err
+		}
+		return 0, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	err, delay, _ := f.inj.decide(OpSync, f.name, 0)
+	sleep(delay)
+	if err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f *injFile) Close() error {
+	err, delay, _ := f.inj.decide(OpClose, f.name, 0)
+	sleep(delay)
+	if err != nil {
+		// Real close failures still release the fd; match that.
+		f.f.Close()
+		return err
+	}
+	return f.f.Close()
+}
+
+func (f *injFile) Truncate(size int64) error {
+	err, delay, _ := f.inj.decide(OpTruncate, f.name, 0)
+	sleep(delay)
+	if err != nil {
+		return err
+	}
+	return f.f.Truncate(size)
+}
+
+func (f *injFile) Name() string { return f.name }
+
+func sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/ds"
+	"repro/internal/fault"
 	"repro/internal/stm"
 )
 
@@ -20,6 +21,13 @@ type CheckpointInfo struct {
 	TruncatedSegs int           // log segments deleted below Ts
 	Freezes       int           // clock freezes needed (1 = first try served)
 	Pause         time.Duration // wall time of the whole call
+	// TruncationSkipped: the checkpoint image is durable, but the log
+	// degraded between the image fsync and truncation, so no segment was
+	// deleted. While a stream is retaining records past a failed flush,
+	// "every record below ts is redundant" cannot be certified from
+	// bookkeeping alone; skipping costs only disk space, and the next
+	// healthy checkpoint reclaims the segments.
+	TruncationSkipped bool
 }
 
 // Checkpoint takes an online checkpoint: it freezes one shared-clock
@@ -40,6 +48,12 @@ func (l *Log) Checkpoint() (CheckpointInfo, error) {
 	var info CheckpointInfo
 	if l.closed || l.severed.Load() {
 		return info, errors.New("wal: log is closed or severed")
+	}
+	if h := l.Health(); h != Healthy {
+		// A checkpoint taken while streams are failing could become the
+		// only copy of records the log never persisted — and its own
+		// writes are likely to fail anyway. Heal first.
+		return info, fmt.Errorf("wal: refusing checkpoint while log is %s: %w", h, l.Err())
 	}
 	start := time.Now()
 
@@ -74,39 +88,47 @@ func (l *Log) Checkpoint() (CheckpointInfo, error) {
 		return info, errors.New("wal: log severed during checkpoint")
 	}
 	path := filepath.Join(l.opts.Dir, fmt.Sprintf("ck-%016x.ckpt", ts))
-	if err := writeFileDurable(path, encodeCheckpoint(ts, l.lastCkptTs.Load(), full, entries)); err != nil {
+	if err := writeFileDurable(l.fs, path, encodeCheckpoint(ts, l.lastCkptTs.Load(), full, entries)); err != nil {
 		return info, err
 	}
 
-	// The checkpoint is durable; everything below ts is now redundant.
+	// The checkpoint is durable. Before destroying anything it supersedes,
+	// re-check health: if any stream degraded while we scanned and wrote,
+	// keep every segment (see CheckpointInfo.TruncationSkipped).
 	l.ckptFiles = append(l.ckptFiles, ckptOnDisk{ts: ts, full: full, path: path})
-	if full {
-		kept := l.ckptFiles[:0]
-		for _, c := range l.ckptFiles {
-			if c.ts < ts {
-				os.Remove(c.path)
+	if l.Health() != Healthy {
+		info.TruncationSkipped = true
+	} else {
+		if full {
+			kept := l.ckptFiles[:0]
+			for _, c := range l.ckptFiles {
+				if c.ts < ts {
+					l.fs.Remove(c.path)
+					continue
+				}
+				kept = append(kept, c)
+			}
+			l.ckptFiles = kept
+		}
+		for _, s := range l.streams {
+			info.TruncatedSegs += s.truncateBelow(ts)
+		}
+		keptLegacy := l.legacySegs[:0]
+		for _, seg := range l.legacySegs {
+			if seg.maxTs < ts {
+				l.fs.Remove(seg.path)
+				info.TruncatedSegs++
 				continue
 			}
-			kept = append(kept, c)
+			keptLegacy = append(keptLegacy, seg)
 		}
-		l.ckptFiles = kept
+		l.legacySegs = keptLegacy
+	}
+	if full {
 		l.incrSinceFull = 0
 	} else {
 		l.incrSinceFull++
 	}
-	for _, s := range l.streams {
-		info.TruncatedSegs += s.truncateBelow(ts)
-	}
-	keptLegacy := l.legacySegs[:0]
-	for _, seg := range l.legacySegs {
-		if seg.maxTs < ts {
-			os.Remove(seg.path)
-			info.TruncatedSegs++
-			continue
-		}
-		keptLegacy = append(keptLegacy, seg)
-	}
-	l.legacySegs = keptLegacy
 
 	l.lastImage = image
 	l.lastCkptTs.Store(ts)
@@ -159,38 +181,41 @@ func (l *Log) snapshotAll() (map[uint64]uint64, uint64, int, error) {
 // fully valid one under the final name (the CRC footer catches anything in
 // between) — and a power loss after return cannot lose the rename itself,
 // which matters because the caller deletes superseded segments next.
-func writeFileDurable(path string, data []byte) error {
+func writeFileDurable(fsys fault.FS, path string, data []byte) error {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
+		// fsync-poisoning applies here too: the temp file's pages may be
+		// gone; never rename it into place, and never retry its fsync.
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	return syncDir(filepath.Dir(path))
+	return syncDir(fsys, filepath.Dir(path))
 }
 
 // syncDir fsyncs a directory so entry creations/renames within it survive
 // power loss (a no-op failure is tolerated on filesystems that cannot sync
 // directories — those also reorder nothing across a process death, which
 // is the level the crash torture exercises).
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys fault.FS, dir string) error {
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
 	if err != nil {
 		return err
 	}

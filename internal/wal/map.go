@@ -13,15 +13,30 @@ import (
 // Map adds no synchronization and no transactional behaviour of its own;
 // it composes like any ds.Map (drive it with threads registered on
 // Log.System()).
+//
+// Under Options.DegradedMode == DegradeReject, mutations check the log's
+// health first: once any stream's flush retries are exhausted, InsertTx and
+// DeleteTx cancel their transaction (Atomic returns false) so no new commit
+// can outrun durability. Reads never reject.
 type Map struct {
 	inner ds.Map
+	log   *Log
 }
 
 var _ ds.Map = (*Map)(nil)
 var _ ds.Visitor = (*Map)(nil)
 
+// rejectIfDegraded cancels tx when the reject policy is in force.
+func (m *Map) rejectIfDegraded(tx stm.Txn) {
+	if m.log != nil && m.log.rejecting() {
+		m.log.rejectedOps.Add(1)
+		tx.Cancel()
+	}
+}
+
 // InsertTx implements ds.Map.
 func (m *Map) InsertTx(tx stm.Txn, key, val uint64) bool {
+	m.rejectIfDegraded(tx)
 	ins := m.inner.InsertTx(tx, key, val)
 	if ins {
 		stm.LogRedo(tx, stm.RedoRec{Op: stm.RedoInsert, Key: key, Val: val})
@@ -31,6 +46,7 @@ func (m *Map) InsertTx(tx stm.Txn, key, val uint64) bool {
 
 // DeleteTx implements ds.Map.
 func (m *Map) DeleteTx(tx stm.Txn, key uint64) bool {
+	m.rejectIfDegraded(tx)
 	del := m.inner.DeleteTx(tx, key)
 	if del {
 		stm.LogRedo(tx, stm.RedoRec{Op: stm.RedoDelete, Key: key})

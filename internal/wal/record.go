@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 
 	"repro/internal/stm"
 )
@@ -176,14 +175,12 @@ func encodeCheckpoint(ts, prevTs uint64, full bool, entries []ckptEntry) []byte 
 	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[8:], castagnoli))
 }
 
-// readCheckpoint loads and validates one checkpoint file. Any framing or
+// parseCheckpoint validates one checkpoint file image. Any framing or
 // checksum violation makes the whole file invalid — unlike a segment, a
 // checkpoint is one atomic unit (its deltas are meaningless truncated).
-func readCheckpoint(path string) (ts, prevTs uint64, full bool, entries []ckptEntry, err error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return 0, 0, false, nil, err
-	}
+// Reading the file is the caller's job: a *read* error is the disk failing
+// now, not crash damage, and must not be conflated with a parse failure.
+func parseCheckpoint(path string, data []byte) (ts, prevTs uint64, full bool, entries []ckptEntry, err error) {
 	if len(data) < ckptHeaderSize+4 || string(data[:8]) != ckptMagic ||
 		binary.LittleEndian.Uint32(data[8:12]) != formatVersion {
 		return 0, 0, false, nil, fmt.Errorf("wal: %s: bad checkpoint header", path)

@@ -1,12 +1,12 @@
 package wal
 
 import (
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/stm"
 )
 
@@ -35,15 +35,21 @@ type recovered struct {
 //   - Records with ts >= the checkpoint ts are replayed onto the base in
 //     stable commit-ts order (records below it are already inside the
 //     checkpoint — SnapshotAt(ts) observes exactly the commits below ts).
-func scanAndRepair(dir string) (*recovered, error) {
+//
+// Repair is reserved for *structural* damage a crash explains (torn tails,
+// orphaned temp files). An I/O error reading a file is not damage — it is
+// the disk failing right now — and propagates as a hard error: silently
+// "repairing" an unreadable file would destroy data a healthy retry could
+// still read.
+func scanAndRepair(fsys fault.FS, dir string) (*recovered, error) {
 	r := &recovered{
 		image:   make(map[uint64]uint64),
 		nextSeg: make(map[string]uint64),
 	}
-	if err := r.loadCheckpoints(dir); err != nil {
+	if err := r.loadCheckpoints(fsys, dir); err != nil {
 		return nil, err
 	}
-	replay, err := r.loadSegments(dir)
+	replay, err := r.loadSegments(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -69,15 +75,15 @@ func applyRedo(image map[uint64]uint64, redo []stm.RedoRec) {
 	}
 }
 
-func (r *recovered) loadCheckpoints(dir string) error {
-	paths, err := filepath.Glob(filepath.Join(dir, "ck-*.ckpt"))
+func (r *recovered) loadCheckpoints(fsys fault.FS, dir string) error {
+	paths, err := globFS(fsys, dir, "ck-*.ckpt")
 	if err != nil {
 		return err
 	}
 	// Drop any orphaned temp file from a crash mid-checkpoint.
-	if tmps, _ := filepath.Glob(filepath.Join(dir, "ck-*.ckpt.tmp")); len(tmps) > 0 {
+	if tmps, _ := globFS(fsys, dir, "ck-*.ckpt.tmp"); len(tmps) > 0 {
 		for _, p := range tmps {
-			os.Remove(p)
+			fsys.Remove(p)
 			r.repaired++
 		}
 	}
@@ -90,11 +96,16 @@ func (r *recovered) loadCheckpoints(dir string) error {
 	}
 	var valid []loadedCkpt
 	for _, p := range paths {
-		ts, prevTs, full, entries, err := readCheckpoint(p)
+		data, err := fsys.ReadFile(p)
+		if err != nil {
+			// Unreadable ≠ torn: fail the whole recovery (see scanAndRepair).
+			return err
+		}
+		ts, prevTs, full, entries, err := parseCheckpoint(p, data)
 		if err != nil {
 			// Torn or rotted: unusable by construction; remove it so it
 			// cannot shadow a later, valid checkpoint at the next scan.
-			os.Remove(p)
+			fsys.Remove(p)
 			r.repaired++
 			continue
 		}
@@ -138,15 +149,15 @@ func (r *recovered) loadCheckpoints(dir string) error {
 // loadSegments walks every shard-*/ directory (streams of *any* previous
 // shard count — records route by key, so a reopened system may reshard) and
 // returns the records to replay.
-func (r *recovered) loadSegments(dir string) ([]record, error) {
-	shardDirs, err := filepath.Glob(filepath.Join(dir, "shard-*"))
+func (r *recovered) loadSegments(fsys fault.FS, dir string) ([]record, error) {
+	shardDirs, err := globFS(fsys, dir, "shard-*")
 	if err != nil {
 		return nil, err
 	}
 	sort.Strings(shardDirs)
 	var replay []record
 	for _, sd := range shardDirs {
-		segs, err := filepath.Glob(filepath.Join(sd, "wal-*.seg"))
+		segs, err := globFS(fsys, sd, "wal-*.seg")
 		if err != nil {
 			return nil, err
 		}
@@ -162,12 +173,14 @@ func (r *recovered) loadSegments(dir string) ([]record, error) {
 				// a lost predecessor; the whole suffix is dead. Removing
 				// it keeps the on-disk stream equal to the recovered
 				// prefix, so the next crash replays the same state.
-				os.Remove(path)
+				fsys.Remove(path)
 				r.repaired++
 				continue
 			}
-			data, err := os.ReadFile(path)
+			data, err := fsys.ReadFile(path)
 			if err != nil {
+				// Unreadable ≠ torn: fail the whole recovery rather than
+				// truncate away data a healthy retry could still read.
 				return nil, err
 			}
 			recs, validLen, torn := decodeRecords(data)
@@ -175,8 +188,8 @@ func (r *recovered) loadSegments(dir string) ([]record, error) {
 				broken = true
 				r.repaired++
 				if len(recs) == 0 && validLen <= segHeaderSize {
-					os.Remove(path)
-				} else if err := os.Truncate(path, int64(validLen)); err != nil {
+					fsys.Remove(path)
+				} else if err := fsys.Truncate(path, int64(validLen)); err != nil {
 					return nil, err
 				}
 			}
@@ -207,4 +220,25 @@ func segIndex(path string) (uint64, bool) {
 	name = strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
 	idx, err := strconv.ParseUint(name, 16, 64)
 	return idx, err == nil
+}
+
+// globFS is filepath.Glob through the fault seam: full paths of dir's
+// entries whose base name matches pattern. A missing directory is an empty
+// listing (a fresh log has no shard dirs yet); other ReadDir errors —
+// including injected ones — propagate.
+func globFS(fsys fault.FS, dir, pattern string) ([]string, error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		if fault.NotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, name := range names {
+		if ok, _ := filepath.Match(pattern, name); ok {
+			out = append(out, filepath.Join(dir, name))
+		}
+	}
+	return out, nil
 }

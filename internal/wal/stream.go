@@ -5,7 +5,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/stm"
 )
 
@@ -24,49 +27,98 @@ type segInfo struct {
 // the committing thread itself writes and fsyncs before its commit becomes
 // visible to conflicting transactions.
 //
+// Record bytes move buf → unsynced → fsync-covered. buf holds encoded
+// records not yet fully written to the active segment; unsynced holds bytes
+// written but not yet covered by a successful fsync. Neither is ever
+// dropped on an I/O error: a failed flush *retains* everything, degrades
+// the stream, and the flusher retries with capped backoff until the disk
+// heals — so a later nil-returning Sync still vouches for every record
+// appended before it, and a record is forgotten only once it is durable (or
+// the process dies, which is exactly what recovery's prefix contract
+// covers).
+//
 // Within a stream the buffer order is the shard's commit observation order,
 // so the on-disk byte sequence — and any crash-cut prefix of it — is a
-// causally consistent prefix of that shard's committed history.
+// causally consistent prefix of that shard's committed history. Retention
+// preserves this: retained bytes are re-appended ahead of anything newer.
 type stream struct {
 	l     *Log
 	shard int
 	dir   string
 
-	mu       sync.Mutex
-	buf      []byte // encoded records not yet written to the file
-	f        *os.File
-	seg      segInfo   // active segment
-	done     []segInfo // completed segments, oldest first
-	segBytes int
-	err      error // sticky I/O error; Log.Err surfaces it
+	mu           sync.Mutex
+	buf          []byte // encoded records not yet fully written
+	bufRecs      int
+	unsynced     []byte // written to the active segment, not yet fsync-covered
+	unsyncedRecs int
+	unsyncedSegs []string // SyncNone: segments sealed without fsync; a Sync barrier covers them by path
+
+	f           fault.File
+	seg         segInfo   // active segment
+	done        []segInfo // completed segments, oldest first
+	next        uint64    // index the next openSegmentLocked will use
+	segBytes    int       // bytes written to the active segment (incl. any torn tail)
+	syncedBytes int       // prefix of the active segment covered by the last successful fsync
+	needSeal    bool      // active segment is poisoned (failed fsync) or torn (partial write)
+
+	err        error // latest I/O error; cleared when the stream heals
+	fails      int   // consecutive failed flush attempts
+	degraded   bool
+	exhausted  bool // retries exhausted: the degraded-mode policy is in force
+	degradedAt time.Time
+	nextRetry  time.Time // flusher backoff gate; explicit Sync attempts ignore it
+	closed     bool
+
+	retainedG atomic.Uint64 // gauge: records retained past a failed flush
 }
 
 func segPath(dir string, index uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("wal-%016x.seg", index))
 }
 
-// openSegment starts segment index in s.dir. Caller holds s.mu.
-func (s *stream) openSegment(index uint64) error {
-	f, err := os.OpenFile(segPath(s.dir, index), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+// openSegmentLocked starts segment s.next in s.dir. Caller holds s.mu.
+func (s *stream) openSegmentLocked() error {
+	path := segPath(s.dir, s.next)
+	f, err := s.l.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
+		if os.IsExist(err) {
+			// A foreign file squats on this index. It cannot be one of
+			// ours (recovery started us past every existing segment and we
+			// increment from there), and *skipping* it would be silent
+			// loss: recovery reads the squatter as a torn middle of the
+			// stream and drops every later segment. Evict it; the retry
+			// reopens this index.
+			s.l.fs.Remove(path)
+		}
 		return err
 	}
 	hdr := appendSegHeader(nil, s.shard)
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
+		s.l.fs.Remove(f.Name()) // best-effort: a header-less file is unusable
 		return err
 	}
 	if s.l.opts.Policy != SyncNone {
 		// The new entry must survive power loss before any truncation
 		// decision treats this segment as the stream's durable tail.
-		if err := syncDir(s.dir); err != nil {
+		if err := syncDir(s.l.fs, s.dir); err != nil {
 			f.Close()
 			return err
 		}
 	}
+	// Retained records re-appended here carry timestamps from the sealed
+	// predecessor; inherit its maxTs so truncateBelow can never reap this
+	// segment while it still holds them (overstating maxTs only delays
+	// truncation, never loses data).
+	inherit := uint64(0)
+	if s.bufRecs > 0 || s.unsyncedRecs > 0 {
+		inherit = s.seg.maxTs
+	}
 	s.f = f
-	s.seg = segInfo{index: index, path: f.Name()}
+	s.seg = segInfo{index: s.next, path: f.Name(), maxTs: inherit}
+	s.next++
 	s.segBytes = len(hdr)
+	s.syncedBytes = len(hdr)
 	return nil
 }
 
@@ -82,67 +134,251 @@ func (s *stream) ObserveCommit(ts uint64, redo []stm.RedoRec) {
 	}
 	s.mu.Lock()
 	s.buf = appendRecord(s.buf, ts, redo)
+	s.bufRecs++
 	if ts > s.seg.maxTs {
 		s.seg.maxTs = ts
 	}
 	s.l.records.Add(1)
-	if s.l.opts.Policy == SyncEveryCommit {
-		s.flushLocked(true)
+	switch {
+	case s.l.opts.Policy == SyncEveryCommit:
+		if err := s.flushLocked(true); err != nil && s.l.opts.DegradedMode == DegradeStall {
+			// Stall: the commit is already decided — the observer cannot
+			// un-commit it — so hold its visibility (we still own the
+			// transaction's write locks) while the log heals, bounded by
+			// StallTimeout. On timeout the record stays retained and the
+			// unacked backlog grows; only a nil Sync ever vouches for it.
+			s.stallLocked()
+		}
+	case s.degraded:
+		s.retainedG.Store(uint64(s.bufRecs + s.unsyncedRecs))
 	}
 	s.mu.Unlock()
 }
 
-// flushLocked writes the buffer to the active segment (fsyncing it when
-// sync is set) and rotates to a fresh segment once the active one exceeds
-// the configured size. Caller holds s.mu.
-func (s *stream) flushLocked(sync bool) {
-	if s.err != nil || s.f == nil {
-		s.buf = s.buf[:0]
-		return
-	}
-	if len(s.buf) > 0 {
-		n, err := s.f.Write(s.buf)
-		s.segBytes += n
-		s.l.bytesAppended.Add(uint64(n))
-		if err != nil {
-			s.err = err
+// stallLocked retries the inline flush with backoff until it succeeds, the
+// stall window closes, or the log is severed/closed. Caller holds s.mu.
+func (s *stream) stallLocked() {
+	deadline := time.Now().Add(s.l.opts.StallTimeout)
+	for time.Now().Before(deadline) && !s.l.severed.Load() && !s.l.closedFlag.Load() {
+		d := time.Until(s.nextRetry)
+		if d < 100*time.Microsecond {
+			d = 100 * time.Microsecond
+		}
+		if rem := time.Until(deadline); d > rem {
+			d = rem
+		}
+		time.Sleep(d)
+		if s.flushLocked(true) == nil {
 			return
-		}
-		s.buf = s.buf[:0]
-	}
-	if sync {
-		if err := s.f.Sync(); err != nil {
-			s.err = err
-			return
-		}
-		s.l.fsyncs.Add(1)
-	}
-	if s.segBytes >= s.l.opts.SegmentBytes {
-		// Rotation: a completed segment is made durable before it is
-		// sealed (except under SyncNone, which never fsyncs), then a
-		// fresh segment becomes the append target.
-		if !sync && s.l.opts.Policy != SyncNone {
-			if err := s.f.Sync(); err != nil {
-				s.err = err
-				return
-			}
-			s.l.fsyncs.Add(1)
-		}
-		if err := s.f.Close(); err != nil {
-			s.err = err
-			return
-		}
-		s.done = append(s.done, s.seg)
-		if err := s.openSegment(s.seg.index + 1); err != nil {
-			s.err = err
-			s.f = nil
 		}
 	}
 }
 
+// flushLocked makes one attempt to move retained state to disk: repair the
+// active segment (seal + fresh open) if needed, drain the buffer, fsync
+// when sync is set, and rotate past SegmentBytes. On failure every byte
+// stays retained and the stream degrades; nil means the buffer is drained
+// and — when sync was set — everything appended before this call is
+// durable. Caller holds s.mu.
+func (s *stream) flushLocked(sync bool) error {
+	if s.closed {
+		return fmt.Errorf("wal: shard %d: flush on a closed stream", s.shard)
+	}
+	if s.needSeal {
+		if err := s.sealLocked(); err != nil {
+			return s.failLocked(err)
+		}
+	}
+	if s.f == nil {
+		if err := s.openSegmentLocked(); err != nil {
+			return s.failLocked(err)
+		}
+	}
+	if len(s.buf) > 0 {
+		n, err := s.f.Write(s.buf)
+		if n > 0 {
+			s.segBytes += n
+			s.l.bytesAppended.Add(uint64(n))
+		}
+		if err != nil {
+			if n > 0 {
+				// The partial write may have torn a record into the file;
+				// nothing may ever be appended after a torn point.
+				s.needSeal = true
+			}
+			return s.failLocked(err)
+		}
+		s.unsynced = append(s.unsynced, s.buf...)
+		s.unsyncedRecs += s.bufRecs
+		s.buf = s.buf[:0]
+		s.bufRecs = 0
+	}
+	if sync {
+		if err := s.fsyncLocked(); err != nil {
+			return s.failLocked(err)
+		}
+	}
+	if s.segBytes >= s.l.opts.SegmentBytes {
+		if err := s.rotateLocked(sync); err != nil {
+			return s.failLocked(err)
+		}
+	}
+	s.healLocked()
+	return nil
+}
+
+// fsyncLocked is the durability step of a flush: it first covers any
+// segment sealed without an fsync (SyncNone rotations), then fsyncs the
+// active segment. A failed fsync poisons the segment: the kernel may have
+// dropped the dirty pages and marked them clean, so a *later* fsync of the
+// same file could report success without the data ever reaching disk — the
+// fd must never be fsynced again. Poisoning marks the segment for sealing;
+// its unsynced suffix is re-appended to a fresh segment before anything can
+// be acked. Caller holds s.mu.
+func (s *stream) fsyncLocked() error {
+	for len(s.unsyncedSegs) > 0 {
+		if err := fsyncPath(s.l.fs, s.unsyncedSegs[0]); err != nil {
+			if fault.NotExist(err) {
+				// Truncated away by a checkpoint; durable there instead.
+				s.unsyncedSegs = s.unsyncedSegs[1:]
+				continue
+			}
+			return err
+		}
+		s.l.fsyncs.Add(1)
+		s.unsyncedSegs = s.unsyncedSegs[1:]
+	}
+	if len(s.unsynced) == 0 && s.syncedBytes == s.segBytes {
+		return nil // nothing new since the last successful fsync
+	}
+	if err := s.f.Sync(); err != nil {
+		s.needSeal = true
+		s.l.poisonedSegs.Add(1)
+		return err
+	}
+	s.l.fsyncs.Add(1)
+	s.syncedBytes = s.segBytes
+	s.unsynced = s.unsynced[:0]
+	s.unsyncedRecs = 0
+	return nil
+}
+
+// sealLocked retires a poisoned or torn active segment: the file is cut
+// back to its last fsync-covered prefix (never re-fsynced — see
+// fsyncLocked), and every retained byte past that prefix moves back to the
+// front of the buffer, to be re-appended to a fresh segment ahead of
+// anything newer. Order matters: the truncate must land before the next
+// segment takes writes, so recovery can never see a torn non-final segment
+// whose successor holds live records. Caller holds s.mu.
+func (s *stream) sealLocked() error {
+	if s.f != nil {
+		if err := s.f.Truncate(int64(s.syncedBytes)); err != nil {
+			return err // still sealed-pending; retried next attempt
+		}
+		s.f.Close() // best-effort: the fd is abandoned either way
+		if s.syncedBytes > segHeaderSize {
+			s.done = append(s.done, s.seg)
+		} else {
+			s.l.fs.Remove(s.seg.path) // best-effort: nothing durable inside
+		}
+		s.f = nil
+	}
+	if len(s.unsynced) > 0 {
+		joined := make([]byte, 0, len(s.unsynced)+len(s.buf))
+		joined = append(append(joined, s.unsynced...), s.buf...)
+		s.buf = joined
+		s.bufRecs += s.unsyncedRecs
+		s.unsynced = s.unsynced[:0]
+		s.unsyncedRecs = 0
+	}
+	s.needSeal = false
+	return nil
+}
+
+// rotateLocked seals the full active segment and opens the next one. Under
+// SyncGroup/SyncEveryCommit the segment is made durable before it is
+// sealed; SyncNone remembers the sealed path so a later Sync barrier can
+// cover it. Caller holds s.mu.
+func (s *stream) rotateLocked(alreadySynced bool) error {
+	switch {
+	case s.l.opts.Policy == SyncNone:
+		if len(s.unsynced) > 0 {
+			s.unsyncedSegs = append(s.unsyncedSegs, s.seg.path)
+			s.unsynced = s.unsynced[:0]
+			s.unsyncedRecs = 0
+		}
+	case !alreadySynced:
+		if err := s.fsyncLocked(); err != nil {
+			return err
+		}
+	}
+	err := s.f.Close()
+	s.f = nil
+	s.done = append(s.done, s.seg)
+	if err != nil {
+		// The data is already durable (or tracked in unsyncedSegs); the
+		// fd is gone either way. Surface the error once; the next attempt
+		// opens the successor.
+		return err
+	}
+	return s.openSegmentLocked()
+}
+
+// failLocked records one failed flush attempt: the error is kept for
+// Log.Err, the stream degrades (transitioning the Log's health), retries
+// exhaust after RetryLimit consecutive failures — immediately for
+// permanent-class errors — and the flusher's next attempt is pushed out by
+// capped exponential backoff. Caller holds s.mu.
+func (s *stream) failLocked(err error) error {
+	err = fmt.Errorf("wal: shard %d: %w", s.shard, err)
+	s.err = err
+	s.fails++
+	s.l.flushFailures.Add(1)
+	if !s.degraded {
+		s.degraded = true
+		s.degradedAt = time.Now()
+		s.l.degradations.Add(1)
+		s.l.degradedStreams.Add(1)
+	}
+	if !s.exhausted && (s.fails > s.l.opts.RetryLimit || !fault.Transient(err)) {
+		s.exhausted = true
+		s.l.exhaustedStreams.Add(1)
+	}
+	d := s.l.opts.GroupInterval
+	for i := 1; i < s.fails && d < s.l.opts.RetryBackoffMax; i++ {
+		d *= 2
+	}
+	if d > s.l.opts.RetryBackoffMax {
+		d = s.l.opts.RetryBackoffMax
+	}
+	s.nextRetry = time.Now().Add(d)
+	s.retainedG.Store(uint64(s.bufRecs + s.unsyncedRecs))
+	return err
+}
+
+// healLocked ends a degraded episode after a fully successful flush
+// attempt. Caller holds s.mu.
+func (s *stream) healLocked() {
+	if s.degraded {
+		s.degraded = false
+		s.fails = 0
+		s.err = nil
+		s.nextRetry = time.Time{}
+		s.l.degradedNanos.Add(time.Since(s.degradedAt).Nanoseconds())
+		s.l.degradedStreams.Add(-1)
+		if s.exhausted {
+			s.exhausted = false
+			s.l.exhaustedStreams.Add(-1)
+		}
+	}
+	s.retainedG.Store(0)
+}
+
 // truncateBelow removes completed segments whose every record's commit ts
 // lies strictly below ts — they are fully covered by a checkpoint at ts.
-// Returns how many segments were deleted.
+// Removal failures keep the segment listed (the next checkpoint retries);
+// they never degrade the stream, since nothing durable is at risk. Returns
+// how many segments were deleted.
 func (s *stream) truncateBelow(ts uint64) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -150,12 +386,12 @@ func (s *stream) truncateBelow(ts uint64) int {
 	removed := 0
 	for _, seg := range s.done {
 		if seg.maxTs < ts {
-			if err := os.Remove(seg.path); err != nil && s.err == nil {
-				s.err = err
+			if err := s.l.fs.Remove(seg.path); err != nil && !fault.NotExist(err) {
 				kept = append(kept, seg)
 				continue
 			}
 			removed++
+			s.dropUnsyncedSegLocked(seg.path)
 			continue
 		}
 		kept = append(kept, seg)
@@ -164,18 +400,52 @@ func (s *stream) truncateBelow(ts uint64) int {
 	return removed
 }
 
-// closeLocked flushes (unless the log was severed) and closes the file.
+// dropUnsyncedSegLocked forgets a removed segment from the SyncNone
+// fsync-debt list. Caller holds s.mu.
+func (s *stream) dropUnsyncedSegLocked(path string) {
+	for i, p := range s.unsyncedSegs {
+		if p == path {
+			s.unsyncedSegs = append(s.unsyncedSegs[:i], s.unsyncedSegs[i+1:]...)
+			return
+		}
+	}
+}
+
+// close flushes (unless the log was severed) and closes the file. A failed
+// final flush is returned — the retained records die with the process, and
+// pretending otherwise is exactly the silent loss this subsystem exists to
+// prevent.
 func (s *stream) close(severed bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var err error
 	if !severed {
-		s.flushLocked(s.l.opts.Policy != SyncNone)
+		err = s.flushLocked(s.l.opts.Policy != SyncNone)
 	}
+	s.closed = true
 	if s.f != nil {
-		if err := s.f.Close(); err != nil && s.err == nil {
-			s.err = err
+		if cerr := s.f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("wal: shard %d: close: %w", s.shard, cerr)
 		}
 		s.f = nil
 	}
-	return s.err
+	return err
+}
+
+// retained reports the stream's retained-record gauge without taking s.mu
+// (Stats may be polled while a stalled flush holds the lock).
+func (s *stream) retained() uint64 { return s.retainedG.Load() }
+
+// fsyncPath reopens path and fsyncs it — covering a segment that was sealed
+// without an fsync (SyncNone rotations) when a Sync barrier arrives.
+func fsyncPath(fsys fault.FS, path string) error {
+	f, err := fsys.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

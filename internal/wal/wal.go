@@ -50,7 +50,6 @@ package wal
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -58,6 +57,7 @@ import (
 
 	"repro/internal/dctl"
 	"repro/internal/ds"
+	"repro/internal/fault"
 	"repro/internal/ds/abtree"
 	"repro/internal/ds/avl"
 	"repro/internal/ds/extbst"
@@ -111,6 +111,72 @@ func PolicyByName(name string) (SyncPolicy, bool) {
 	return SyncGroup, false
 }
 
+// DegradedMode selects the log's policy once a stream's flush retries are
+// exhausted (RetryLimit consecutive failures, or immediately for
+// permanent-class errors). In neither mode may a commit acked by a
+// nil-returning Sync be lost; the modes differ only in who absorbs the
+// pressure while the disk is down.
+type DegradedMode int
+
+const (
+	// DegradeStall (the default): Sync — and the commit observer itself
+	// under SyncEveryCommit — blocks, retrying with backoff, until the log
+	// heals or StallTimeout elapses. Commits keep succeeding in memory; the
+	// unacked backlog (Stats.Retained) grows until the disk returns.
+	DegradeStall DegradedMode = iota
+	// DegradeReject: once any stream's retries are exhausted, wal.Map
+	// mutations abort (Atomic returns false) so no new commit can outrun
+	// durability. Reads and the in-memory system continue; mutations resume
+	// after the next successful flush heals the stream.
+	DegradeReject
+)
+
+func (m DegradedMode) String() string {
+	if m == DegradeReject {
+		return "reject"
+	}
+	return "stall"
+}
+
+// DegradedByName maps the multibench/stmtorture flag spelling to a mode.
+func DegradedByName(name string) (DegradedMode, bool) {
+	switch name {
+	case "stall", "":
+		return DegradeStall, true
+	case "reject":
+		return DegradeReject, true
+	}
+	return DegradeStall, false
+}
+
+// Health is the log's failure state: the top of a three-state machine
+// driven by per-stream flush outcomes.
+//
+//	Healthy ⇄ Degraded → Severed
+//
+// Healthy: every stream's last flush attempt succeeded. Degraded: at least
+// one stream is retaining records past a failed flush (retries in
+// progress; the DegradedMode policy is in force once they exhaust). A
+// degraded log heals back to Healthy on the next fully successful flush.
+// Severed is terminal: Crash() was called or the log was closed.
+type Health int
+
+const (
+	Healthy Health = iota
+	Degraded
+	Severed
+)
+
+func (h Health) String() string {
+	switch h {
+	case Degraded:
+		return "degraded"
+	case Severed:
+		return "severed"
+	}
+	return "healthy"
+}
+
 // Options configures OpenWith. The zero value of every field selects a
 // sensible default (hashmap over group-committed multiverse shards).
 type Options struct {
@@ -143,6 +209,24 @@ type Options struct {
 	// Checkpoint call before it reports starvation (default 16; only the
 	// versionless baselines ever get near it).
 	CheckpointRetries int
+	// FS is the filesystem seam every I/O call goes through (default
+	// fault.OS, the zero-overhead passthrough). Tests install a
+	// fault.Injector here to drive the log through its failure paths.
+	FS fault.FS
+	// DegradedMode selects stall vs reject once flush retries exhaust
+	// (default DegradeStall).
+	DegradedMode DegradedMode
+	// RetryLimit is the number of consecutive failed flush attempts on a
+	// stream before the DegradedMode policy engages (default 3).
+	// Permanent-class errors engage it immediately; retries themselves
+	// never stop while the log is open — a disk can heal at any time.
+	RetryLimit int
+	// RetryBackoffMax caps the exponential retry backoff that starts at
+	// GroupInterval and doubles per consecutive failure (default 50ms).
+	RetryBackoffMax time.Duration
+	// StallTimeout bounds how long a stalled Sync (or SyncEveryCommit
+	// observer) blocks waiting for the log to heal (default 2s).
+	StallTimeout time.Duration
 }
 
 func (o *Options) fill() error {
@@ -178,6 +262,18 @@ func (o *Options) fill() error {
 	}
 	if o.CheckpointRetries == 0 {
 		o.CheckpointRetries = 16
+	}
+	if o.FS == nil {
+		o.FS = fault.OS
+	}
+	if o.RetryLimit == 0 {
+		o.RetryLimit = 3
+	}
+	if o.RetryBackoffMax == 0 {
+		o.RetryBackoffMax = 50 * time.Millisecond
+	}
+	if o.StallTimeout == 0 {
+		o.StallTimeout = 2 * time.Second
 	}
 	return nil
 }
@@ -235,6 +331,14 @@ type Stats struct {
 	LastCkptPause  time.Duration // wall time of the last Checkpoint call
 	RecoveredPairs int           // pairs loaded into the system at Open
 	RecoveredTs    uint64        // checkpoint ts recovery started from
+
+	// Failure-plane counters.
+	Retained      uint64        // gauge: records retained past a failed flush (unacked backlog)
+	FlushFailures uint64        // failed flush attempts (each retained everything)
+	Degradations  uint64        // healthy→degraded transitions
+	DegradedTime  time.Duration // total time spent degraded (completed episodes)
+	PoisonedSegs  uint64        // segments sealed after a failed fsync
+	RejectedOps   uint64        // wal.Map mutations aborted by DegradeReject
 }
 
 // Log owns a sharded TM system, its per-shard log streams, and the
@@ -242,15 +346,20 @@ type Stats struct {
 // logging wrapper bound to it.
 type Log struct {
 	opts    Options
+	fs      fault.FS
 	sys     *shard.System
 	inner   *shard.Map
 	perDS   []ds.Map // each shard's raw structure (checkpoint scans)
 	streams []*stream
 	snapThs []stm.SnapshotThread // checkpointer's per-shard pinned readers
 
-	severed   atomic.Bool
-	stopFlush chan struct{}
-	flushWG   sync.WaitGroup
+	severed    atomic.Bool
+	closedFlag atomic.Bool // mirrors closed for lock-free reads (stall loops)
+	stopFlush  chan struct{}
+	flushWG    sync.WaitGroup
+
+	degradedStreams  atomic.Int32 // streams currently retaining past a failure
+	exhaustedStreams atomic.Int32 // streams whose retries are exhausted (mode in force)
 
 	// Checkpoint state, guarded by mu (Checkpoint and Close serialize);
 	// lastCkptTs is atomic because Stats may poll it from any goroutine.
@@ -268,6 +377,11 @@ type Log struct {
 	droppedAppends atomic.Uint64
 	checkpoints    atomic.Uint64
 	lastCkptPause  atomic.Int64
+	flushFailures  atomic.Uint64
+	degradations   atomic.Uint64
+	poisonedSegs   atomic.Uint64
+	rejectedOps    atomic.Uint64
+	degradedNanos  atomic.Int64
 	recoveredPairs int
 	recoveredTs    uint64
 
@@ -296,17 +410,20 @@ func OpenWith(opts Options) (m ds.Map, l *Log, err error) {
 	if err := opts.fill(); err != nil {
 		return nil, nil, err
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fsys := opts.FS
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, nil, err
 	}
 
 	// Phase 1: read (and repair) what a previous incarnation left behind.
-	rec, err := scanAndRepair(opts.Dir)
+	// A read fault here is a hard open failure — recovery must never
+	// mistake an unreadable file for a torn one and "repair" it away.
+	rec, err := scanAndRepair(fsys, opts.Dir)
 	if err != nil {
 		return nil, nil, err
 	}
 
-	l = &Log{opts: opts, stopFlush: make(chan struct{})}
+	l = &Log{opts: opts, fs: fsys, stopFlush: make(chan struct{})}
 	l.recoveredPairs = len(rec.image)
 	l.recoveredTs = rec.ckptTs
 	l.lastCkptTs.Store(rec.ckptTs)
@@ -325,12 +442,12 @@ func OpenWith(opts Options) (m ds.Map, l *Log, err error) {
 	l.streams = make([]*stream, opts.Shards)
 	for i := range l.streams {
 		dir := filepath.Join(opts.Dir, fmt.Sprintf("shard-%03d", i))
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
 			return nil, nil, err
 		}
-		s := &stream{l: l, shard: i, dir: dir}
+		s := &stream{l: l, shard: i, dir: dir, next: rec.nextSeg[dir]}
 		s.mu.Lock()
-		err := s.openSegment(rec.nextSeg[dir])
+		err := s.openSegmentLocked()
 		s.mu.Unlock()
 		if err != nil {
 			return nil, nil, err
@@ -392,7 +509,7 @@ func OpenWith(opts Options) (m ds.Map, l *Log, err error) {
 	l.flushWG.Add(1)
 	go l.flushLoop()
 
-	return &Map{inner: l.inner}, l, nil
+	return &Map{inner: l.inner, log: l}, l, nil
 }
 
 // bulkLoad installs image into the fresh system, batching keys per shard so
@@ -436,9 +553,15 @@ func (l *Log) flushLoop() {
 				return
 			}
 			sync := l.opts.Policy == SyncGroup
+			now := time.Now()
 			for _, s := range l.streams {
 				s.mu.Lock()
-				s.flushLocked(sync)
+				// Degraded streams retry on their capped-exponential
+				// schedule, not every tick; explicit Sync calls bypass
+				// the gate.
+				if !s.degraded || !now.Before(s.nextRetry) {
+					s.flushLocked(sync)
+				}
 				s.mu.Unlock()
 			}
 		}
@@ -449,18 +572,44 @@ func (l *Log) flushLoop() {
 func (l *Log) System() *shard.System { return l.sys }
 
 // Sync is a durability barrier: it writes and fsyncs every stream's buffer
-// regardless of policy. On return, every commit observed before Sync was
-// called survives any crash.
+// regardless of policy. A nil return is the log's ack: every commit
+// observed before Sync was called is on stable storage and survives any
+// crash — the no-silent-loss contract. A non-nil return vouches for
+// nothing beyond the previous nil Sync; the unacked records remain
+// retained (Stats.Retained) and later Syncs retry them. Under
+// DegradeStall a failing Sync blocks, retrying with backoff, until the
+// log heals or StallTimeout elapses.
 func (l *Log) Sync() error {
+	if l.closedFlag.Load() {
+		return errors.New("wal: Sync on a closed log")
+	}
 	if l.severed.Load() {
 		return errors.New("wal: log is severed")
 	}
-	for _, s := range l.streams {
-		s.mu.Lock()
-		s.flushLocked(true)
-		s.mu.Unlock()
+	deadline := time.Now().Add(l.opts.StallTimeout)
+	for {
+		var errs []error
+		for _, s := range l.streams {
+			s.mu.Lock()
+			if err := s.flushLocked(true); err != nil {
+				errs = append(errs, err)
+			}
+			s.mu.Unlock()
+		}
+		if len(errs) == 0 {
+			return nil
+		}
+		if l.opts.DegradedMode != DegradeStall || !time.Now().Before(deadline) {
+			return errors.Join(errs...)
+		}
+		time.Sleep(l.opts.GroupInterval)
+		if l.closedFlag.Load() {
+			return errors.New("wal: Sync on a closed log")
+		}
+		if l.severed.Load() {
+			return errors.New("wal: log is severed")
+		}
 	}
-	return l.Err()
 }
 
 // Crash severs the log, simulating the instant of a process death: the
@@ -473,22 +622,52 @@ func (l *Log) Crash() {
 	l.severed.Store(true)
 }
 
-// Err returns the first I/O error any stream has hit.
+// Err aggregates the current I/O error of every stream (errors.Join; nil
+// when all streams are healthy). A stream's error clears when it heals, so
+// Err reflects present health, not history — Stats keeps the history.
 func (l *Log) Err() error {
+	var errs []error
 	for _, s := range l.streams {
 		s.mu.Lock()
-		err := s.err
-		s.mu.Unlock()
-		if err != nil {
-			return err
+		if s.err != nil {
+			errs = append(errs, s.err)
 		}
+		s.mu.Unlock()
 	}
-	return nil
+	return errors.Join(errs...)
+}
+
+// Health reports the log's failure state; see the Health type for the
+// state machine.
+func (l *Log) Health() Health {
+	if l.severed.Load() || l.closedFlag.Load() {
+		return Severed
+	}
+	if l.degradedStreams.Load() > 0 {
+		return Degraded
+	}
+	return Healthy
+}
+
+// rejecting reports whether DegradeReject is currently refusing mutations.
+func (l *Log) rejecting() bool {
+	return l.opts.DegradedMode == DegradeReject && l.exhaustedStreams.Load() > 0
 }
 
 // Stats snapshots the log counters.
 func (l *Log) Stats() Stats {
+	var retained uint64
+	for _, s := range l.streams {
+		retained += s.retained()
+	}
 	return Stats{
+		Retained:      retained,
+		FlushFailures: l.flushFailures.Load(),
+		Degradations:  l.degradations.Load(),
+		DegradedTime:  time.Duration(l.degradedNanos.Load()),
+		PoisonedSegs:  l.poisonedSegs.Load(),
+		RejectedOps:   l.rejectedOps.Load(),
+
 		Records:        l.records.Load(),
 		BytesAppended:  l.bytesAppended.Load(),
 		Fsyncs:         l.fsyncs.Load(),
@@ -510,13 +689,14 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	l.closedFlag.Store(true)
 	close(l.stopFlush)
 	l.flushWG.Wait()
 	severed := l.severed.Load()
-	var first error
+	var errs []error
 	for _, s := range l.streams {
-		if err := s.close(severed); err != nil && first == nil {
-			first = err
+		if err := s.close(severed); err != nil {
+			errs = append(errs, err)
 		}
 	}
 	l.severed.Store(true) // post-close appends are drops, not writes to closed files
@@ -524,5 +704,5 @@ func (l *Log) Close() error {
 		st.Unregister()
 	}
 	l.sys.Close()
-	return first
+	return errors.Join(errs...)
 }

@@ -408,6 +408,13 @@ func TestCheckpointEncodingRoundTrip(t *testing.T) {
 	if err := os.WriteFile(path, encodeCheckpoint(16, 9, false, entries), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	readCheckpoint := func(path string) (uint64, uint64, bool, []ckptEntry, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return 0, 0, false, nil, err
+		}
+		return parseCheckpoint(path, data)
+	}
 	ts, prevTs, full, got, err := readCheckpoint(path)
 	if err != nil || ts != 16 || prevTs != 9 || full || len(got) != len(entries) {
 		t.Fatalf("round trip: ts=%d prev=%d full=%v n=%d err=%v", ts, prevTs, full, len(got), err)
