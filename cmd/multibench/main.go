@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id (fig1, fig6..fig21, tab1, ablation, shards, persist) or 'all'")
+		exp      = flag.String("exp", "", "experiment id (fig1, fig6..fig21, tab1, ablation, shards, persist, server) or 'all'")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		tms      = flag.String("tm", strings.Join(bench.TMNames, ","), "comma-separated TMs to compare")
 		prefill  = flag.Int("prefill", 0, "prefill size (default: quick scale)")
@@ -81,6 +81,12 @@ func main() {
 			scale.Shards = append(scale.Shards, n)
 		}
 	}
+	// closeJSON flushes and closes the -json sink; a write error surfacing
+	// only at Sync/Close (full disk, dropped NFS mount) must fail the run
+	// loudly — a truncated record file silently poisons every downstream
+	// trajectory comparison. Deferring f.Close() would discard exactly
+	// that error.
+	closeJSON := func() {}
 	if *jsonPath != "" {
 		sink := os.Stdout
 		if *jsonPath != "-" {
@@ -89,7 +95,16 @@ func main() {
 				fmt.Fprintf(os.Stderr, "-json: %v\n", err)
 				os.Exit(2)
 			}
-			defer f.Close()
+			closeJSON = func() {
+				if err := f.Sync(); err != nil {
+					fmt.Fprintf(os.Stderr, "-json %s: sync: %v\n", *jsonPath, err)
+					os.Exit(1)
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "-json %s: close: %v\n", *jsonPath, err)
+					os.Exit(1)
+				}
+			}
 			sink = f
 		}
 		bench.EmitJSON(sink)
@@ -110,5 +125,6 @@ func main() {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		e.Run(scale, tmList, os.Stdout)
 	}
+	closeJSON()
 	fmt.Printf("(total %.1fs)\n", time.Since(start).Seconds())
 }

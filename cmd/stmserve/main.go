@@ -1,0 +1,94 @@
+// Command stmserve serves a WAL-backed sharded transactional map over TCP
+// using the internal/server wire protocol.
+//
+//	stmserve -addr 127.0.0.1:7707 -dir /var/lib/stm -tm multiverse -shards 4
+//
+// Updates ack on the wire only after the fsync covering their commit
+// (-ack sync, the default); -ack commit acks at the commit point instead,
+// the latency baseline that prices durability. SIGINT/SIGTERM triggers a
+// graceful drain: stop accepting, finish and answer every in-flight
+// request, flush the final group commit, close the log, exit 0. The line
+//
+//	stmserve listening on <addr>
+//
+// on stdout marks readiness (the smoke test and torture harness parse it).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7707", "listen address (port 0 = pick a free port)")
+	dir := flag.String("dir", "", "WAL directory (required)")
+	tm := flag.String("tm", "multiverse", "TM backend (multiverse, multiverse-eager, tl2, dctl)")
+	shards := flag.Int("shards", 2, "TM instances / log streams")
+	dsName := flag.String("ds", "hashmap", "data structure (hashmap, abtree, avl, extbst)")
+	policy := flag.String("policy", "group", "fsync policy: group, none, every")
+	workers := flag.Int("workers", 4, "execution pool size (registered TM threads)")
+	ack := flag.String("ack", "sync", "update ack policy: sync (after covering fsync) or commit")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-drain bound on shutdown")
+	flag.Parse()
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "stmserve: -dir is required")
+		os.Exit(2)
+	}
+	pol, ok := wal.PolicyByName(*policy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "stmserve: unknown -policy %q\n", *policy)
+		os.Exit(2)
+	}
+	ackPol, ok := server.AckByName(*ack)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "stmserve: unknown -ack %q (want sync or commit)\n", *ack)
+		os.Exit(2)
+	}
+
+	m, l, err := wal.OpenWith(wal.Options{
+		Dir: *dir, Backend: *tm, Shards: *shards, DS: *dsName, Policy: pol,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stmserve: open log: %v\n", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stmserve: listen: %v\n", err)
+		l.Close()
+		os.Exit(1)
+	}
+	srv := server.New(l.System(), m, l, server.Options{Workers: *workers, Ack: ackPol})
+	srv.Start(ln)
+	fmt.Printf("stmserve listening on %s\n", srv.Addr())
+	fmt.Printf("stmserve tm=%s ds=%s shards=%d policy=%s ack=%s workers=%d dir=%s\n",
+		*tm, *dsName, *shards, pol, ackPol, *workers, *dir)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
+	fmt.Println("stmserve: draining")
+	code := 0
+	if err := srv.Shutdown(*drain); err != nil {
+		fmt.Fprintf(os.Stderr, "stmserve: final sync: %v\n", err)
+		code = 1
+	}
+	st := srv.Stats()
+	fmt.Printf("stmserve: served conns=%d reqs=%d updates=%d syncRounds=%d syncedAcks=%d failedAcks=%d\n",
+		st.Accepted, st.Requests, st.Updates, st.SyncRounds, st.SyncedAcks, st.FailedAcks)
+	if err := l.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "stmserve: close log: %v\n", err)
+		code = 1
+	}
+	os.Exit(code)
+}

@@ -53,6 +53,16 @@
 // prefix consistency of whatever survived:
 //
 //	stmtorture -tm multiverse -workload faultdisk -dur 30s -threads 4
+//
+// The socket workload (only runs when named) drives the crash workload's
+// recorded-history audit through cmd/stmserve's wire protocol over real
+// loopback TCP: rounds serve a WAL-backed map, hammer it through pipelined
+// client connections while fault.Injector schedules tear request frames and
+// sever connections mid-request, then drain, crash, recover, and demand
+// both exact equality with the drained state (nothing acked over the wire
+// may be lost) and prefix consistency of the recorded history:
+//
+//	stmtorture -tm multiverse -workload socket -dur 30s -threads 4
 package main
 
 import (
@@ -82,9 +92,28 @@ type report struct {
 	violations atomic.Uint64
 }
 
+// selectWorkloads resolves the -workload flag into the workloads to run and
+// the ones "all" deliberately leaves out (disk- and socket-bound tortures
+// that need a tempdir or a loopback listener and only run when named). An
+// unknown name is an error, not an empty run.
+func selectWorkloads(wl string) (run, skipped []string, err error) {
+	inProcess := []string{"bank", "pairs", "ledger", "hist"}
+	standalone := []string{"crash", "faultdisk", "socket"}
+	if wl == "all" {
+		return inProcess, standalone, nil
+	}
+	for _, w := range append(append([]string{}, inProcess...), standalone...) {
+		if wl == w {
+			return []string{wl}, nil, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("unknown -workload %q (want %s, %s, or all)",
+		wl, strings.Join(inProcess, ", "), strings.Join(standalone, ", "))
+}
+
 func main() {
 	tm := flag.String("tm", "multiverse", "TM under torture")
-	wl := flag.String("workload", "all", "bank, pairs, ledger, hist, crash, faultdisk, or all (crash and faultdisk only run when named)")
+	wl := flag.String("workload", "all", "bank, pairs, ledger, hist, crash, faultdisk, socket, or all (crash, faultdisk and socket only run when named)")
 	threads := flag.Int("threads", 4, "mutator threads per workload")
 	dur := flag.Duration("dur", 5*time.Second, "torture duration (per workload)")
 	seed := flag.Uint64("seed", 1, "hist: base seed (round r uses a seed derived from it)")
@@ -102,6 +131,20 @@ func main() {
 	default:
 		fmt.Printf("unknown -checker %q (want partitioned, monolithic, or both)\n", *checker)
 		os.Exit(2)
+	}
+
+	runList, skipped, err := selectWorkloads(*wl)
+	if err != nil {
+		fmt.Println(err)
+		os.Exit(2)
+	}
+	selected := func(name string) bool {
+		for _, w := range runList {
+			if w == name {
+				return true
+			}
+		}
+		return false
 	}
 
 	// On machines with fewer cores than torture threads, goroutines only
@@ -135,16 +178,16 @@ func main() {
 	}
 
 	ok := true
-	if *wl == "bank" || *wl == "all" {
+	if selected("bank") {
 		ok = run("bank", func(sys stm.System, stop *atomic.Bool, rep *report) { bank(sys, stop, rep, *threads) }) && ok
 	}
-	if *wl == "pairs" || *wl == "all" {
+	if selected("pairs") {
 		ok = run("pairs", func(sys stm.System, stop *atomic.Bool, rep *report) { pairToggle(sys, stop, rep, *threads) }) && ok
 	}
-	if *wl == "ledger" || *wl == "all" {
+	if selected("ledger") {
 		ok = run("ledger", func(sys stm.System, stop *atomic.Bool, rep *report) { ledger(sys, stop, rep, *threads) }) && ok
 	}
-	if *wl == "hist" || *wl == "all" {
+	if selected("hist") {
 		ops := *opsPer
 		if ops <= 0 {
 			if *soak > 0 {
@@ -161,11 +204,20 @@ func main() {
 		}
 		ok = histTorture(cfg) && ok
 	}
-	if *wl == "crash" {
+	if selected("crash") {
 		ok = crashTorture(crashConfig{tm: *tm, threads: *threads, seed: *seed, dur: *dur}) && ok
 	}
-	if *wl == "faultdisk" {
+	if selected("faultdisk") {
 		ok = faultdiskTorture(faultdiskConfig{tm: *tm, threads: *threads, seed: *seed, dur: *dur}) && ok
+	}
+	if selected("socket") {
+		ok = socketTorture(socketConfig{tm: *tm, threads: *threads, seed: *seed, dur: *dur}) && ok
+	}
+	// The disk- and socket-bound workloads never ride "all" (they need a
+	// real tempdir/loopback and run much longer per round); say so instead
+	// of silently narrowing coverage.
+	for _, name := range skipped {
+		fmt.Printf("%-8s skipped: run with -workload %s\n", name, name)
 	}
 	if !ok {
 		fmt.Println("TORTURE FAILED: violations detected")

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSelectWorkloads pins the -workload resolution: "all" runs exactly the
+// in-process tortures and *names* what it skips (the silent-skip of
+// crash/faultdisk/socket was a reporting bug), every workload is reachable
+// by name, and a typo is an error rather than a no-op run.
+func TestSelectWorkloads(t *testing.T) {
+	run, skipped, err := selectWorkloads("all")
+	if err != nil {
+		t.Fatalf("all: %v", err)
+	}
+	if want := []string{"bank", "pairs", "ledger", "hist"}; !reflect.DeepEqual(run, want) {
+		t.Fatalf("all runs %v, want %v", run, want)
+	}
+	if want := []string{"crash", "faultdisk", "socket"}; !reflect.DeepEqual(skipped, want) {
+		t.Fatalf("all skips %v, want %v", skipped, want)
+	}
+
+	for _, name := range []string{"bank", "pairs", "ledger", "hist", "crash", "faultdisk", "socket"} {
+		run, skipped, err := selectWorkloads(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(run, []string{name}) || len(skipped) != 0 {
+			t.Fatalf("%s resolves to run=%v skipped=%v", name, run, skipped)
+		}
+	}
+
+	if _, _, err := selectWorkloads("sockets"); err == nil {
+		t.Fatal("typo workload accepted silently")
+	}
+	if _, _, err := selectWorkloads(""); err == nil {
+		t.Fatal("empty workload accepted silently")
+	}
+}

@@ -1,0 +1,170 @@
+package examples
+
+import (
+	"bufio"
+	"context"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/ds"
+	"repro/internal/server/client"
+	"repro/internal/server/wire"
+	"repro/internal/stm"
+	"repro/internal/wal"
+)
+
+// TestServerSmoke exercises the deployment shape the examples don't: the
+// stmserve binary as a separate OS process, a client over real TCP, and the
+// durability contract across a process restart. It builds cmd/stmserve,
+// round-trips a batched transaction, confirms a cross-shard batch is refused
+// with nothing applied, takes snapshot reads, drains the server with
+// SIGTERM, and then reopens the WAL directory in-process to verify every
+// acked write survived.
+func TestServerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("server smoke test skipped in -short mode")
+	}
+	const shards = 2
+	tmp := t.TempDir()
+	bin := tmp + "/stmserve"
+	walDir := tmp + "/wal"
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	build := exec.CommandContext(ctx, "go", "build", "-o", bin, "./cmd/stmserve")
+	build.Dir = ".." // module root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build stmserve: %v\n%s", err, out)
+	}
+
+	srv := exec.CommandContext(ctx, bin,
+		"-addr", "127.0.0.1:0", "-dir", walDir, "-shards", "2")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	srv.Stderr = srv.Stdout
+	if err := srv.Start(); err != nil {
+		t.Fatalf("start stmserve: %v", err)
+	}
+	defer srv.Process.Kill() //nolint:errcheck // backstop; normal path is SIGTERM below
+
+	// The readiness line carries the kernel-assigned port for -addr :0.
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "stmserve listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("never saw readiness line (scan err: %v)", sc.Err())
+	}
+	// Keep draining stdout so the server never blocks on a full pipe.
+	tail := make(chan []string, 1)
+	go func() {
+		var lines []string
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		tail <- lines
+	}()
+
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	defer cl.Close()
+
+	// Partition a key run by the same hash the server shards with, so we
+	// can build one same-shard batch (must commit atomically) and one
+	// cross-shard batch (must be refused before executing anything).
+	var shard0, shard1 []uint64
+	for k := uint64(1); len(shard0) < 4 || len(shard1) < 4; k++ {
+		if stm.Mix64(k)%shards == 0 {
+			shard0 = append(shard0, k)
+		} else {
+			shard1 = append(shard1, k)
+		}
+	}
+
+	// Batched update transaction: three inserts on one shard, atomically.
+	batch := []wire.BatchOp{
+		{Key: shard0[0], Val: 100},
+		{Key: shard0[1], Val: 200},
+		{Key: shard0[2], Val: 300},
+	}
+	res, err := cl.Batch(batch)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	for i, ok := range res {
+		if !ok {
+			t.Fatalf("batch op %d reported not-inserted on empty map", i)
+		}
+	}
+
+	// Aborting transaction: a batch spanning both shards is refused whole.
+	_, err = cl.Batch([]wire.BatchOp{
+		{Key: shard0[3], Val: 1},
+		{Key: shard1[0], Val: 2},
+	})
+	if err != client.ErrCrossShard {
+		t.Fatalf("cross-shard batch: got %v, want ErrCrossShard", err)
+	}
+	for _, k := range []uint64{shard0[3], shard1[0]} {
+		if _, found, err := cl.Search(k); err != nil || found {
+			t.Fatalf("refused batch leaked key %d (found=%v err=%v)", k, found, err)
+		}
+	}
+
+	// Snapshot reads over the wire.
+	if n, sum, err := cl.Range(1, ^uint64(0)); err != nil || n != 3 || sum != shard0[0]+shard0[1]+shard0[2] {
+		t.Fatalf("range: n=%d sum=%d err=%v", n, sum, err)
+	}
+	if n, err := cl.Size(); err != nil || n != 3 {
+		t.Fatalf("size: n=%d err=%v", n, err)
+	}
+	cl.Close()
+
+	// Graceful drain: SIGTERM must finish in-flight work and exit 0.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	if err := srv.Wait(); err != nil {
+		t.Fatalf("stmserve exited non-zero after drain: %v\n%s", err, strings.Join(<-tail, "\n"))
+	}
+
+	// No acked-but-lost writes: recover the WAL dir and re-read the batch.
+	m, l, err := wal.OpenWith(wal.Options{
+		Dir: walDir, Backend: "multiverse", Shards: shards, DS: "hashmap",
+	})
+	if err != nil {
+		t.Fatalf("reopen WAL: %v", err)
+	}
+	defer l.Close()
+	th := l.System().Register()
+	defer th.Unregister()
+	pairs, ok := ds.Export(th, m.(ds.Visitor), 1, ^uint64(0))
+	if !ok {
+		t.Fatal("recovery export starved")
+	}
+	have := make(map[uint64]uint64, len(pairs))
+	for _, kv := range pairs {
+		have[kv.Key] = kv.Val
+	}
+	want := map[uint64]uint64{shard0[0]: 100, shard0[1]: 200, shard0[2]: 300}
+	if len(have) != len(want) {
+		t.Fatalf("recovered %d keys, want %d (%v)", len(have), len(want), have)
+	}
+	for k, v := range want {
+		if have[k] != v {
+			t.Fatalf("acked key %d lost or wrong after restart: have %d want %d", k, have[k], v)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/ds"
+	"repro/internal/server/client"
 	"repro/internal/shard"
 	"repro/internal/stm"
 	"repro/internal/wal"
@@ -123,6 +124,22 @@ type Result struct {
 	CkptOK        bool          // the mid-window checkpoint served (versionless TMs may starve)
 	WALRetries    uint64        // failed flush attempts retried by the failure plane
 	WALDegraded   uint64        // healthy→degraded transitions over the window
+	// Server runs only (RunServerBench): wire-level load shape and
+	// latency quantiles; nil for in-process runs.
+	Server *ServerStats
+}
+
+// ServerStats is the server-benchmark extension of Result: the client-side
+// load shape plus wire-latency quantiles from the load generator's
+// histogram (internal/server/client.Hist), and the group-commit pipeline's
+// amortization counters.
+type ServerStats struct {
+	Conns, Depth            int
+	Ack                     string
+	LatP50, LatP99, LatP999 time.Duration
+	SyncRounds, SyncedAcks  uint64 // SyncedAcks/SyncRounds = acks amortized per fsync
+	Lost                    uint64 // ops with transport outcomes (should be 0 faultless)
+	Hist                    *client.Hist
 }
 
 // Run executes the configured benchmark and returns averaged results.

@@ -382,6 +382,46 @@ func Experiments() map[string]Experiment {
 	})
 
 	add(Experiment{
+		ID:    "server",
+		Title: "wire-protocol server: end-to-end throughput and p50/p99/p999 latency, ack=commit vs ack=sync (group-commit pipelining) across pipeline depths",
+		Run: func(s Scale, tms []string, w io.Writer) {
+			capable := map[string]bool{"multiverse": true, "multiverse-eager": true, "dctl": true, "tl2": true}
+			var serverTMs []string
+			for _, tm := range tms {
+				if capable[tm] {
+					serverTMs = append(serverTMs, tm)
+				}
+			}
+			if len(serverTMs) == 0 {
+				serverTMs = []string{"multiverse"}
+			}
+			for _, tm := range serverTMs {
+				fmt.Fprintf(w, "--- server: %s hashmap over loopback TCP, 20%% updates (ack=commit prices the wire, ack=sync adds the covering fsync; depth sweep shows group-commit amortization) ---\n", tm)
+				base := ServerConfig{
+					TM: tm, DS: "hashmap", Shards: 2,
+					Prefill: s.Prefill, Duration: s.Duration, Trials: s.Trials,
+					Conns: 4, Mix: 20,
+				}
+				for _, row := range []struct {
+					ack   string
+					depth int
+				}{{"commit", 8}, {"sync", 1}, {"sync", 8}, {"sync", 32}} {
+					cfg := base
+					cfg.Ack = row.ack
+					cfg.Depth = row.depth
+					res, err := RunServerBench(cfg)
+					if err != nil {
+						fmt.Fprintf(w, "    server bench failed: %v\n", err)
+						return
+					}
+					fmt.Fprintln(w, res)
+					fmt.Fprint(w, res.ServerRow())
+				}
+			}
+		},
+	})
+
+	add(Experiment{
 		ID:    "tab1",
 		Title: "TM mode behaviour matrix (verified by TestTable1ModeMatrix)",
 		Run: func(s Scale, tms []string, w io.Writer) {

@@ -49,6 +49,19 @@ type RunRecord struct {
 	// Per-shard commit/abort splits (sharded runs, last trial's window).
 	ShardCommits []uint64 `json:"shard_commits,omitempty"`
 	ShardAborts  []uint64 `json:"shard_aborts,omitempty"`
+
+	// Server runs only (multibench -exp server): client load shape and
+	// wire-latency quantiles in microseconds from the load generator's
+	// histogram. AcksPerFsync is the group-commit pipeline's amortization
+	// (update acks released per fsync cycle).
+	ServerConns  int     `json:"server_conns,omitempty"`
+	ServerDepth  int     `json:"server_depth,omitempty"`
+	ServerAck    string  `json:"server_ack,omitempty"`
+	LatP50Us     float64 `json:"lat_p50_us,omitempty"`
+	LatP99Us     float64 `json:"lat_p99_us,omitempty"`
+	LatP999Us    float64 `json:"lat_p999_us,omitempty"`
+	AcksPerFsync float64 `json:"acks_per_fsync,omitempty"`
+	LostOps      uint64  `json:"lost_ops,omitempty"`
 }
 
 var jsonEnc *json.Encoder
@@ -105,6 +118,18 @@ func emitJSON(r Result) {
 	for _, st := range r.ShardStats {
 		rec.ShardCommits = append(rec.ShardCommits, st.Commits)
 		rec.ShardAborts = append(rec.ShardAborts, st.Aborts)
+	}
+	if s := r.Server; s != nil {
+		rec.ServerConns = s.Conns
+		rec.ServerDepth = s.Depth
+		rec.ServerAck = s.Ack
+		rec.LatP50Us = float64(s.LatP50.Nanoseconds()) / 1e3
+		rec.LatP99Us = float64(s.LatP99.Nanoseconds()) / 1e3
+		rec.LatP999Us = float64(s.LatP999.Nanoseconds()) / 1e3
+		if s.SyncRounds > 0 {
+			rec.AcksPerFsync = float64(s.SyncedAcks) / float64(s.SyncRounds)
+		}
+		rec.LostOps = s.Lost
 	}
 	jsonEnc.Encode(rec) //nolint:errcheck // best-effort sink, like the table writer
 }

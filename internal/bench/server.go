@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/ds"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/wal"
+)
+
+// ServerConfig parameterizes one end-to-end server benchmark: a WAL-backed
+// sharded map served over loopback TCP by internal/server, hammered by the
+// internal/server/client load generator. Unlike the in-process benchmarks,
+// throughput here includes framing, the socket round-trip, worker-pool
+// scheduling and the cross-connection group-commit pipeline — and the
+// result carries wire-latency quantiles, which in-process runs don't have.
+type ServerConfig struct {
+	TM       string        // WAL-capable backend (default multiverse)
+	DS       string        // data structure (default hashmap)
+	Shards   int           // TM instances / log streams (default 2)
+	Policy   string        // fsync policy name: none, group, every (default group)
+	Ack      string        // server ack policy: sync or commit (default sync)
+	Workers  int           // server execution pool (default 4)
+	Conns    int           // client connections (default 4)
+	Depth    int           // pipelined requests per connection (default 8)
+	Mix      int           // percent updates (default 20)
+	KeyRange uint64        // key space (default 1<<14)
+	Prefill  int           // keys inserted before measurement
+	Duration time.Duration // measured window per trial
+	Trials   int
+	Seed     uint64
+}
+
+func (c *ServerConfig) fill() error {
+	if c.TM == "" {
+		c.TM = "multiverse"
+	}
+	if c.DS == "" {
+		c.DS = "hashmap"
+	}
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.Policy == "" {
+		c.Policy = "group"
+	}
+	if _, ok := wal.PolicyByName(c.Policy); !ok {
+		return fmt.Errorf("bench: unknown fsync policy %q", c.Policy)
+	}
+	if c.Ack == "" {
+		c.Ack = "sync"
+	}
+	if _, ok := server.AckByName(c.Ack); !ok {
+		return fmt.Errorf("bench: unknown ack policy %q", c.Ack)
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.Depth <= 0 {
+		c.Depth = 8
+	}
+	if c.Mix == 0 {
+		c.Mix = 20
+	}
+	if c.KeyRange == 0 {
+		c.KeyRange = 1 << 14
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Trials <= 0 {
+		c.Trials = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// RunServerBench runs the configured server benchmark and returns averaged
+// results; latency quantiles come from all trials' samples merged. The
+// Result rides the same JSON emission as every other run (RunRecord gains
+// lat_p50_us/lat_p99_us/lat_p999_us and the server shape fields).
+func RunServerBench(c ServerConfig) (Result, error) {
+	if err := c.fill(); err != nil {
+		return Result{}, err
+	}
+	pol, _ := wal.PolicyByName(c.Policy)
+	ackPol, _ := server.AckByName(c.Ack)
+
+	var agg Result
+	agg.Config = Config{
+		TM: c.TM, DS: c.DS, Threads: c.Conns * c.Depth, Shards: c.Shards,
+		Prefill: c.Prefill, Duration: c.Duration, Trials: c.Trials,
+		Persist: c.Policy, Seed: c.Seed,
+	}
+	agg.CkptOK = true
+	agg.Server = &ServerStats{Conns: c.Conns, Depth: c.Depth, Ack: c.Ack, Hist: new(client.Hist)}
+
+	for trial := 0; trial < c.Trials; trial++ {
+		dir, err := os.MkdirTemp("", "multibench-server-*")
+		if err != nil {
+			return agg, err
+		}
+		r, err := runServerTrial(c, pol, ackPol, dir, c.Seed+uint64(trial)*7919)
+		os.RemoveAll(dir)
+		if err != nil {
+			return agg, err
+		}
+		agg.OpsPerSec += r.opsPerSec
+		agg.Commits += r.commits
+		agg.Aborts += r.aborts
+		agg.Starved += r.starved
+		agg.Fsyncs += r.fsyncs
+		agg.WALRecords += r.walRecords
+		agg.Server.SyncRounds += r.syncRounds
+		agg.Server.SyncedAcks += r.syncedAcks
+		agg.Server.Lost += r.lost
+		agg.Server.Hist.Merge(r.hist)
+	}
+	agg.OpsPerSec /= float64(c.Trials)
+	agg.Server.LatP50 = agg.Server.Hist.Quantile(0.50)
+	agg.Server.LatP99 = agg.Server.Hist.Quantile(0.99)
+	agg.Server.LatP999 = agg.Server.Hist.Quantile(0.999)
+	emitJSON(agg)
+	return agg, nil
+}
+
+type serverTrial struct {
+	opsPerSec                    float64
+	commits, aborts, starved     uint64
+	fsyncs, walRecords           uint64
+	syncRounds, syncedAcks, lost uint64
+	hist                         *client.Hist
+}
+
+func runServerTrial(c ServerConfig, pol wal.SyncPolicy, ackPol server.AckPolicy, dir string, seed uint64) (serverTrial, error) {
+	var tr serverTrial
+	m, l, err := wal.OpenWith(wal.Options{
+		Dir: dir, Backend: c.TM, Shards: c.Shards, DS: c.DS, Policy: pol,
+		Capacity: 1 << 16, LockTable: 1 << 16,
+	})
+	if err != nil {
+		return tr, err
+	}
+	sys := l.System()
+	if c.Prefill > 0 {
+		th := sys.Register()
+		rng := seed
+		for i := 0; i < c.Prefill; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			ds.Insert(th, m, 1+rng%c.KeyRange, rng)
+		}
+		th.Unregister()
+		if err := l.Sync(); err != nil {
+			th = nil
+			l.Close()
+			return tr, err
+		}
+	}
+	statsBefore := sys.Stats()
+	walBefore := l.Stats()
+
+	srv := server.New(sys, m, l, server.Options{Workers: c.Workers, Ack: ackPol})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		l.Close()
+		return tr, err
+	}
+	srv.Start(ln)
+
+	res, err := client.RunLoad(client.LoadConfig{
+		Addr: srv.Addr().String(), Conns: c.Conns, Depth: c.Depth,
+		Duration: c.Duration, Mix: c.Mix, KeyRange: c.KeyRange, Seed: seed,
+	})
+	if err != nil {
+		srv.Close()
+		l.Close()
+		return tr, err
+	}
+	if err := srv.Shutdown(10 * time.Second); err != nil {
+		l.Close()
+		return tr, fmt.Errorf("bench: server drain: %w", err)
+	}
+	statsAfter := sys.Stats()
+	walAfter := l.Stats()
+	sst := srv.Stats()
+	l.Close()
+
+	tr.opsPerSec = float64(res.Ops) / res.Elapsed.Seconds()
+	tr.commits = statsAfter.Commits - statsBefore.Commits
+	tr.aborts = statsAfter.Aborts - statsBefore.Aborts
+	tr.starved = statsAfter.Starved - statsBefore.Starved
+	tr.fsyncs = walAfter.Fsyncs - walBefore.Fsyncs
+	tr.walRecords = walAfter.Records - walBefore.Records
+	tr.syncRounds = sst.SyncRounds
+	tr.syncedAcks = sst.SyncedAcks
+	tr.lost = res.Lost
+	tr.hist = res.Hist
+	return tr, nil
+}
+
+// ServerRow renders the server-only columns next to Result.String.
+func (r Result) ServerRow() string {
+	s := r.Server
+	if s == nil {
+		return ""
+	}
+	groupSize := 0.0
+	if s.SyncRounds > 0 {
+		groupSize = float64(s.SyncedAcks) / float64(s.SyncRounds)
+	}
+	return fmt.Sprintf("    server  conns=%-3d depth=%-3d ack=%-6s p50=%-9s p99=%-9s p999=%-9s group-acks/fsync=%-6.1f lost=%d\n",
+		s.Conns, s.Depth, s.Ack,
+		s.LatP50.Round(time.Microsecond), s.LatP99.Round(time.Microsecond),
+		s.LatP999.Round(time.Microsecond), groupSize, s.Lost)
+}

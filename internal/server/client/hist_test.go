@@ -1,0 +1,52 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistBucketRoundTrip: every value lands in a bucket whose [low, next)
+// range contains it, with relative width ≤ 1/16 above the linear region.
+func TestHistBucketRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 15, 16, 17, 31, 32, 100, 1000, 12345,
+		1 << 20, 1<<20 + 3, 1 << 40, ^uint64(0) >> 1}
+	for _, v := range vals {
+		i := histBucket(v)
+		lo, hi := histLow(i), histLow(i+1)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d mapped to bucket %d = [%d, %d)", v, i, lo, hi)
+		}
+		if lo >= 16 && float64(hi-lo)/float64(lo) > 1.0/16+1e-9 {
+			t.Fatalf("bucket %d [%d, %d) wider than 1/16 relative", i, lo, hi)
+		}
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := new(Hist)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	// 1000 samples: 990 at ~1ms, 10 at ~100ms. p50 must sit in the 1ms
+	// bucket's neighborhood, p999 in the 100ms one.
+	for i := 0; i < 990; i++ {
+		h.Record(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(100 * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	p999 := h.Quantile(0.999)
+	if p50 < time.Millisecond || p50 > time.Millisecond*17/16+1 {
+		t.Fatalf("p50 = %v, want ~1ms", p50)
+	}
+	if p999 < 100*time.Millisecond || p999 > 100*time.Millisecond*17/16+1 {
+		t.Fatalf("p999 = %v, want ~100ms", p999)
+	}
+	if q0 := h.Quantile(0); q0 < time.Millisecond || q0 > p50 {
+		t.Fatalf("q0 = %v out of range", q0)
+	}
+}

@@ -1,0 +1,234 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/server/wire"
+)
+
+// Hist is a concurrent log-linear latency histogram (16 sub-buckets per
+// power of two, linear below 16ns): relative error ≤ 1/16 per sample,
+// fixed memory, lock-free recording. Quantiles report the recorded
+// bucket's upper bound, so tails round pessimistically.
+type Hist struct {
+	counts [histBuckets]atomic.Uint64
+	n      atomic.Uint64
+}
+
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits
+	histBuckets = (64-histSubBits)*histSub + histSub
+)
+
+func histBucket(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1
+	sub := (v >> (uint(exp) - histSubBits)) & (histSub - 1)
+	return (exp-histSubBits+1)<<histSubBits + int(sub)
+}
+
+func histLow(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	block := uint(i >> histSubBits)
+	exp := block + histSubBits - 1
+	return 1<<exp + uint64(i&(histSub-1))<<(exp-histSubBits)
+}
+
+// Record adds one sample.
+func (h *Hist) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[histBucket(uint64(d))].Add(1)
+	h.n.Add(1)
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.n.Load() }
+
+// Quantile returns the latency at quantile q in [0, 1]. Zero samples
+// yields 0.
+func (h *Hist) Quantile(q float64) time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	target := uint64(q * float64(n))
+	if target >= n {
+		target = n - 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > target {
+			return time.Duration(histLow(i + 1))
+		}
+	}
+	return 0
+}
+
+// Merge adds o's samples into h (not concurrent-safe against Record on o).
+func (h *Hist) Merge(o *Hist) {
+	for i := range h.counts {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.n.Add(o.n.Load())
+}
+
+// LoadConfig drives RunLoad.
+type LoadConfig struct {
+	Addr     string
+	Conns    int           // client connections (default 4)
+	Depth    int           // concurrent requests pipelined per conn (default 8)
+	Duration time.Duration // wall-clock run length (default 1s)
+	Mix      int           // percent of ops that are updates, 0..100
+	Batch    int           // >0: updates are single-shard batches of this size
+	KeyRange uint64        // keys drawn from [1, KeyRange] (default 1<<16)
+	Seed     uint64
+	Fault    *fault.Injector // optional conn-seam injector ("cli-<n>" names)
+}
+
+// LoadResult aggregates one RunLoad run.
+type LoadResult struct {
+	Ops     uint64 // operations with a definite outcome
+	Errs    uint64 // definite refusals (aborted/degraded/...) among Ops
+	Lost    uint64 // transport outcomes (ErrNotSent/ErrUnanswered)
+	Elapsed time.Duration
+	Hist    *Hist // per-op wire latency (definite outcomes only)
+}
+
+func splitmix(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// RunLoad opens Conns pipelined clients against addr and drives them with
+// Depth synchronous worker goroutines each for Duration, recording per-op
+// wire latency. Transport failures stop the affected worker (the
+// connection is gone); definite refusals are counted and the run goes on.
+func RunLoad(cfg LoadConfig) (LoadResult, error) {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 4
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.KeyRange == 0 {
+		cfg.KeyRange = 1 << 16
+	}
+	clients := make([]*Client, cfg.Conns)
+	for i := range clients {
+		cl, err := Dial(cfg.Addr, Options{
+			Fault: cfg.Fault,
+			Name:  fmt.Sprintf("cli-%d", i),
+		})
+		if err != nil {
+			for _, c := range clients[:i] {
+				c.Close()
+			}
+			return LoadResult{}, err
+		}
+		clients[i] = cl
+	}
+
+	var res LoadResult
+	res.Hist = new(Hist)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci, cl := range clients {
+		for d := 0; d < cfg.Depth; d++ {
+			wg.Add(1)
+			go func(cl *Client, id int) {
+				defer wg.Done()
+				rng := cfg.Seed + uint64(id)*0x9e3779b97f4a7c15
+				var ops, errs, lost uint64
+				for !stop.Load() {
+					r := splitmix(&rng)
+					key := 1 + r%cfg.KeyRange
+					t0 := time.Now()
+					var err error
+					switch {
+					case int(r%100) < cfg.Mix && cfg.Batch > 0:
+						_, err = cl.Batch(sameShardBatch(&rng, cfg))
+					case int(r%100) < cfg.Mix:
+						if r&(1<<40) != 0 {
+							_, err = cl.Insert(key, r)
+						} else {
+							_, err = cl.Delete(key)
+						}
+					default:
+						_, _, err = cl.Search(key)
+					}
+					switch {
+					case err == nil:
+						ops++
+						res.Hist.Record(time.Since(t0))
+					case isTransport(err):
+						lost++
+						atomic.AddUint64(&res.Ops, ops)
+						atomic.AddUint64(&res.Errs, errs)
+						atomic.AddUint64(&res.Lost, lost)
+						return
+					default:
+						ops++
+						errs++
+						res.Hist.Record(time.Since(t0))
+					}
+				}
+				atomic.AddUint64(&res.Ops, ops)
+				atomic.AddUint64(&res.Errs, errs)
+				atomic.AddUint64(&res.Lost, lost)
+			}(cl, ci*cfg.Depth+d)
+		}
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	for _, cl := range clients {
+		cl.Close()
+	}
+	return res, nil
+}
+
+func isTransport(err error) bool {
+	return errors.Is(err, ErrNotSent) || errors.Is(err, ErrUnanswered) ||
+		errors.Is(err, ErrClosed)
+}
+
+// sameShardBatch builds a Batch whose keys provably share a shard without
+// the client knowing the shard count: all ops target one key (an insert
+// then Batch-1 reinsert/delete flips of it), so the transaction is
+// single-shard by construction.
+func sameShardBatch(rng *uint64, cfg LoadConfig) []wire.BatchOp {
+	key := 1 + splitmix(rng)%cfg.KeyRange
+	ops := make([]wire.BatchOp, cfg.Batch)
+	for i := range ops {
+		ops[i] = wire.BatchOp{Del: i%2 == 1, Key: key, Val: splitmix(rng)}
+	}
+	return ops
+}

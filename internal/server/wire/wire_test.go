@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{ID: 1, Op: OpPing},
+		{ID: 2, Op: OpInsert, Key: 7, Val: 70},
+		{ID: 3, Op: OpDelete, Key: 7},
+		{ID: 4, Op: OpSearch, Key: 9},
+		{ID: 5, Op: OpRange, Key: 1, Val: 100},
+		{ID: 6, Op: OpSize},
+		{ID: 7, Op: OpBatch, Batch: []BatchOp{
+			{Key: 1, Val: 2}, {Del: true, Key: 3}, {Key: 4, Val: 5},
+		}},
+		{ID: 8, Op: OpBatch, Batch: []BatchOp{}},
+	}
+	for _, want := range reqs {
+		got, err := ParseRequest(AppendRequest(nil, &want))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", want.Op, err)
+		}
+		if got.ID != want.ID || got.Op != want.Op || got.Key != want.Key || got.Val != want.Val {
+			t.Fatalf("%s: got %+v want %+v", want.Op, got, want)
+		}
+		if len(got.Batch) != len(want.Batch) || (len(want.Batch) > 0 && !reflect.DeepEqual(got.Batch, want.Batch)) {
+			t.Fatalf("%s: batch %+v want %+v", want.Op, got.Batch, want.Batch)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{ID: 1, Op: OpPing},
+		{ID: 2, Op: OpInsert, OK: true},
+		{ID: 3, Op: OpSearch, OK: true, Val: 42},
+		{ID: 4, Op: OpRange, Count: 10, Sum: 55},
+		{ID: 5, Op: OpSize, Count: 99},
+		{ID: 6, Op: OpBatch, Results: []bool{true, false, true}},
+		{ID: 7, Op: OpInsert, Status: StatusSevered},
+		{ID: 8, Op: OpBatch, Status: StatusCrossShard},
+	}
+	for _, want := range resps {
+		got, err := ParseResponse(AppendResponse(nil, &want))
+		if err != nil {
+			t.Fatalf("%s/%s: parse: %v", want.Op, want.Status, err)
+		}
+		if got.ID != want.ID || got.Op != want.Op || got.Status != want.Status ||
+			got.OK != want.OK || got.Val != want.Val || got.Count != want.Count || got.Sum != want.Sum {
+			t.Fatalf("%s: got %+v want %+v", want.Op, got, want)
+		}
+		if len(want.Results) > 0 && want.Status == StatusOK && !reflect.DeepEqual(got.Results, want.Results) {
+			t.Fatalf("%s: results %v want %v", want.Op, got.Results, want.Results)
+		}
+	}
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	payload := AppendRequest(nil, &Request{ID: 1, Op: OpSearch, Key: 5})
+	frame := AppendFrame(nil, payload)
+
+	// Intact frame round-trips, reusing the caller's buffer.
+	got, err := ReadFrame(bytes.NewReader(frame), make([]byte, 0, 64))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("intact frame: err=%v", err)
+	}
+	// A torn frame (any proper prefix) is io.ErrUnexpectedEOF — except an
+	// empty stream, which is a clean io.EOF boundary.
+	if _, err := ReadFrame(bytes.NewReader(nil), nil); err != io.EOF {
+		t.Fatalf("empty stream err = %v, want io.EOF", err)
+	}
+	for cut := 1; cut < len(frame); cut++ {
+		if _, err := ReadFrame(bytes.NewReader(frame[:cut]), nil); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+	// Checksum and length violations are ErrCorruptFrame.
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := ReadFrame(bytes.NewReader(bad), nil); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("flipped payload err = %v, want ErrCorruptFrame", err)
+	}
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	if _, err := ReadFrame(bytes.NewReader(huge), nil); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("oversized length err = %v, want ErrCorruptFrame", err)
+	}
+}

@@ -47,13 +47,13 @@ func (l *Log) Checkpoint() (CheckpointInfo, error) {
 	defer l.mu.Unlock()
 	var info CheckpointInfo
 	if l.closed || l.severed.Load() {
-		return info, errors.New("wal: log is closed or severed")
+		return info, fmt.Errorf("wal: checkpoint on a closed or severed log: %w", ErrSevered)
 	}
 	if h := l.Health(); h != Healthy {
 		// A checkpoint taken while streams are failing could become the
 		// only copy of records the log never persisted — and its own
 		// writes are likely to fail anyway. Heal first.
-		return info, fmt.Errorf("wal: refusing checkpoint while log is %s: %w", h, l.Err())
+		return info, fmt.Errorf("wal: refusing checkpoint while log is %s: %w: %w", h, h.Err(), l.Err())
 	}
 	start := time.Now()
 
@@ -85,7 +85,7 @@ func (l *Log) Checkpoint() (CheckpointInfo, error) {
 	info.Full, info.Entries = full, len(entries)
 
 	if l.severed.Load() { // crashed while we scanned: write nothing
-		return info, errors.New("wal: log severed during checkpoint")
+		return info, fmt.Errorf("wal: log severed during checkpoint: %w", ErrSevered)
 	}
 	path := filepath.Join(l.opts.Dir, fmt.Sprintf("ck-%016x.ckpt", ts))
 	if err := writeFileDurable(l.fs, path, encodeCheckpoint(ts, l.lastCkptTs.Load(), full, entries)); err != nil {

@@ -239,8 +239,8 @@ func TestCheckpointRefusesDegraded(t *testing.T) {
 	defer l.Close()
 	insertRange(t, l, m, 1, 50)
 	l.Sync() // drive the stream into its degraded state
-	if _, err := l.Checkpoint(); err == nil || !strings.Contains(err.Error(), "refusing checkpoint") {
-		t.Fatalf("Checkpoint while degraded: err = %v", err)
+	if _, err := l.Checkpoint(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Checkpoint while degraded: err = %v, want errors.Is ErrDegraded", err)
 	}
 	inj.Heal()
 	syncHeals(t, l, 2*time.Second)
@@ -414,8 +414,8 @@ func TestSyncAfterCloseErrors(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Sync(); err == nil {
-		t.Fatal("Sync after Close returned nil")
+	if err := l.Sync(); !errors.Is(err, ErrSevered) {
+		t.Fatalf("Sync after Close = %v, want errors.Is ErrSevered", err)
 	}
 	if h := l.Health(); h != Severed {
 		t.Fatalf("Health after Close = %v, want Severed", h)

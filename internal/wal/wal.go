@@ -57,11 +57,11 @@ import (
 
 	"repro/internal/dctl"
 	"repro/internal/ds"
-	"repro/internal/fault"
 	"repro/internal/ds/abtree"
 	"repro/internal/ds/avl"
 	"repro/internal/ds/extbst"
 	"repro/internal/ds/hashmap"
+	"repro/internal/fault"
 	"repro/internal/gclock"
 	"repro/internal/mvstm"
 	"repro/internal/shard"
@@ -176,6 +176,34 @@ func (h Health) String() string {
 	}
 	return "healthy"
 }
+
+// Err returns the sentinel for a failure state (nil for Healthy), so call
+// sites that refuse work because of the log's health can wrap a value that
+// errors.Is can classify.
+func (h Health) Err() error {
+	switch h {
+	case Degraded:
+		return ErrDegraded
+	case Severed:
+		return ErrSevered
+	}
+	return nil
+}
+
+// Sentinel errors for the log's failure states. Every error the log returns
+// *because of* its health wraps one of these, so callers — the wire-protocol
+// server mapping health to error codes, tests asserting failure modes —
+// classify with errors.Is instead of string matching.
+var (
+	// ErrSevered: the log is terminally gone — Crash() was called or the
+	// log was closed. Nothing further will be persisted.
+	ErrSevered = errors.New("wal: log is severed")
+	// ErrDegraded: at least one stream is retaining records past a failed
+	// flush and the degraded-mode policy gave up waiting (stall timeout, or
+	// reject mode). The records remain retained; a later Sync may still ack
+	// them once the disk heals.
+	ErrDegraded = errors.New("wal: log is degraded")
+)
 
 // Options configures OpenWith. The zero value of every field selects a
 // sensible default (hashmap over group-committed multiverse shards).
@@ -581,10 +609,10 @@ func (l *Log) System() *shard.System { return l.sys }
 // log heals or StallTimeout elapses.
 func (l *Log) Sync() error {
 	if l.closedFlag.Load() {
-		return errors.New("wal: Sync on a closed log")
+		return fmt.Errorf("wal: Sync on a closed log: %w", ErrSevered)
 	}
 	if l.severed.Load() {
-		return errors.New("wal: log is severed")
+		return fmt.Errorf("wal: Sync: %w", ErrSevered)
 	}
 	deadline := time.Now().Add(l.opts.StallTimeout)
 	for {
@@ -600,14 +628,14 @@ func (l *Log) Sync() error {
 			return nil
 		}
 		if l.opts.DegradedMode != DegradeStall || !time.Now().Before(deadline) {
-			return errors.Join(errs...)
+			return fmt.Errorf("%w: %w", ErrDegraded, errors.Join(errs...))
 		}
 		time.Sleep(l.opts.GroupInterval)
 		if l.closedFlag.Load() {
-			return errors.New("wal: Sync on a closed log")
+			return fmt.Errorf("wal: Sync on a closed log: %w", ErrSevered)
 		}
 		if l.severed.Load() {
-			return errors.New("wal: log is severed")
+			return fmt.Errorf("wal: Sync: %w", ErrSevered)
 		}
 	}
 }
