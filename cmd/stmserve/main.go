@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -37,6 +38,7 @@ func main() {
 	workers := flag.Int("workers", 4, "execution pool size (registered TM threads)")
 	ack := flag.String("ack", "sync", "update ack policy: sync (after covering fsync) or commit")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-drain bound on shutdown")
+	ship := flag.String("ship", "", "log-shipping listen address for follower replicas (empty = no shipping)")
 	flag.Parse()
 
 	if *dir == "" {
@@ -70,6 +72,18 @@ func main() {
 	}
 	srv := server.New(l.System(), m, l, server.Options{Workers: *workers, Ack: ackPol})
 	srv.Start(ln)
+	var shipSvc *replica.ShipService
+	if *ship != "" {
+		shipLn, err := net.Listen("tcp", *ship)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stmserve: ship listen: %v\n", err)
+			srv.Shutdown(*drain)
+			l.Close()
+			os.Exit(1)
+		}
+		shipSvc = replica.ServeShipping(shipLn, *dir, replica.ShipperOptions{})
+		fmt.Printf("stmserve shipping on %s\n", shipSvc.Addr())
+	}
 	fmt.Printf("stmserve listening on %s\n", srv.Addr())
 	fmt.Printf("stmserve tm=%s ds=%s shards=%d policy=%s ack=%s workers=%d dir=%s\n",
 		*tm, *dsName, *shards, pol, ackPol, *workers, *dir)
@@ -79,6 +93,9 @@ func main() {
 	<-sigc
 	fmt.Println("stmserve: draining")
 	code := 0
+	if shipSvc != nil {
+		shipSvc.Close()
+	}
 	if err := srv.Shutdown(*drain); err != nil {
 		fmt.Fprintf(os.Stderr, "stmserve: final sync: %v\n", err)
 		code = 1

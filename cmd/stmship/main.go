@@ -1,0 +1,152 @@
+// Command stmship runs a log-shipping read replica: it dials a leader's
+// shipping listener (stmserve -ship), mirrors the leader's WAL directory
+// into a local copy, replays it into its own transactional system, and
+// optionally serves snapshot reads over the wire protocol.
+//
+//	stmship -dir /var/lib/stm-replica -leader 127.0.0.1:7708 -addr 127.0.0.1:7709
+//
+// With -leader empty the replica tails -dir directly (shared-disk mode: the
+// directory is the leader's own WAL dir, reached over a shared filesystem).
+// The read server, when enabled, refuses every update with a read-only
+// status; reads run pinned at the replica's applied frozen timestamp, so a
+// scan never observes a torn transaction. The line
+//
+//	stmship following on <dir>
+//
+// on stdout marks readiness (harnesses parse it). SIGINT/SIGTERM stops the
+// tail and exits; with -promote-on-exit the replica instead promotes — wal
+// recovery over the mirrored copy — proving the copy is a valid leader
+// image, then closes it and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/replica"
+	"repro/internal/server"
+)
+
+func main() {
+	dir := flag.String("dir", "", "local replica directory (required)")
+	leader := flag.String("leader", "", "leader shipping address to dial (empty = tail -dir directly)")
+	addr := flag.String("addr", "", "read-only serving address (empty = no read server)")
+	tm := flag.String("tm", "multiverse", "TM backend (multiverse, multiverse-eager, tl2, dctl)")
+	shards := flag.Int("shards", 0, "follower TM instances (0 = derive from the shipped directory)")
+	dsName := flag.String("ds", "hashmap", "data structure (hashmap, abtree, avl, extbst)")
+	workers := flag.Int("workers", 2, "read-server execution pool size")
+	promote := flag.Bool("promote-on-exit", false, "promote the replica to a leader log on shutdown")
+	flag.Parse()
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "stmship: -dir is required")
+		os.Exit(2)
+	}
+
+	// The shipping channel populates -dir in the background; the replica
+	// tails whatever has arrived. Redial on session death: a torn frame
+	// kills the session by design, and the manifest resync on reconnect
+	// completes the transfer.
+	stopShip := make(chan struct{})
+	shipDone := make(chan struct{})
+	if *leader != "" {
+		go func() {
+			defer close(shipDone)
+			for {
+				select {
+				case <-stopShip:
+					return
+				default:
+				}
+				conn, err := net.Dial("tcp", *leader)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "stmship: dial leader: %v (retrying)\n", err)
+					select {
+					case <-stopShip:
+						return
+					case <-time.After(200 * time.Millisecond):
+					}
+					continue
+				}
+				rc := replica.NewReceiver(conn, *dir)
+				go func() {
+					<-stopShip
+					rc.Stop()
+				}()
+				if err := rc.Run(); err != nil {
+					fmt.Fprintf(os.Stderr, "stmship: shipping session: %v (redialing)\n", err)
+				}
+			}
+		}()
+	} else {
+		close(shipDone)
+	}
+
+	r, err := replica.Open(replica.Options{
+		Dir: *dir, Backend: *tm, Shards: *shards, DS: *dsName,
+	})
+	if err != nil {
+		close(stopShip)
+		fmt.Fprintf(os.Stderr, "stmship: open replica: %v\n", err)
+		os.Exit(1)
+	}
+
+	var srv *server.Server
+	if *addr != "" {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stmship: listen: %v\n", err)
+			r.Close()
+			close(stopShip)
+			os.Exit(1)
+		}
+		// No log and AckCommit: nothing is ever staged for fsync release,
+		// and ReadOnly refuses updates on the wire before execution.
+		srv = server.New(r.System(), r.Map(), nil, server.Options{
+			Workers: *workers, Ack: server.AckCommit, ReadOnly: true,
+		})
+		srv.Start(ln)
+		fmt.Printf("stmship listening on %s\n", srv.Addr())
+	}
+	fmt.Printf("stmship following on %s\n", *dir)
+	fmt.Printf("stmship tm=%s ds=%s shards=%d leader=%q\n", *tm, *dsName, *shards, *leader)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
+	fmt.Println("stmship: stopping")
+	code := 0
+	if srv != nil {
+		if err := srv.Shutdown(5 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "stmship: read-server drain: %v\n", err)
+			code = 1
+		}
+	}
+	close(stopShip)
+	<-shipDone
+
+	st := r.Stats()
+	fmt.Printf("stmship: applied recs=%d ops=%d ts=%d rebases=%d polls=%d health=%s\n",
+		st.AppliedRecs, st.AppliedOps, st.AppliedTs, st.Rebases, st.Polls, r.Health())
+	if *promote {
+		_, pl, err := r.Promote()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stmship: promote: %v\n", err)
+			r.Close()
+			os.Exit(1)
+		}
+		fmt.Printf("stmship: promoted at ts=%d\n", pl.Stats().RecoveredTs)
+		if err := pl.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "stmship: close promoted log: %v\n", err)
+			code = 1
+		}
+	} else {
+		r.Close()
+	}
+	os.Exit(code)
+}

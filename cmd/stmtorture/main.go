@@ -63,6 +63,17 @@
 // may be lost) and prefix consistency of the recorded history:
 //
 //	stmtorture -tm multiverse -workload socket -dur 30s -threads 4
+//
+// The replica workload (only runs when named) tortures log shipping: rounds
+// mirror a loaded leader's WAL directory into a follower copy over loopback
+// TCP while fault.Injector schedules tear frames and sever the shipping
+// connection (the channel redials and resyncs from its manifest), with a
+// checkpoint truncating segments under the shipper mid-window. Drained
+// rounds demand the follower converge on exactly the leader's acked state
+// and promote to the same image; sever rounds promote from the half-shipped
+// copy and audit prefix consistency of whatever survived:
+//
+//	stmtorture -tm multiverse -workload replica -dur 30s -threads 4
 package main
 
 import (
@@ -98,7 +109,7 @@ type report struct {
 // unknown name is an error, not an empty run.
 func selectWorkloads(wl string) (run, skipped []string, err error) {
 	inProcess := []string{"bank", "pairs", "ledger", "hist"}
-	standalone := []string{"crash", "faultdisk", "socket"}
+	standalone := []string{"crash", "faultdisk", "socket", "replica"}
 	if wl == "all" {
 		return inProcess, standalone, nil
 	}
@@ -113,7 +124,7 @@ func selectWorkloads(wl string) (run, skipped []string, err error) {
 
 func main() {
 	tm := flag.String("tm", "multiverse", "TM under torture")
-	wl := flag.String("workload", "all", "bank, pairs, ledger, hist, crash, faultdisk, socket, or all (crash, faultdisk and socket only run when named)")
+	wl := flag.String("workload", "all", "bank, pairs, ledger, hist, crash, faultdisk, socket, replica, or all (crash, faultdisk, socket and replica only run when named)")
 	threads := flag.Int("threads", 4, "mutator threads per workload")
 	dur := flag.Duration("dur", 5*time.Second, "torture duration (per workload)")
 	seed := flag.Uint64("seed", 1, "hist: base seed (round r uses a seed derived from it)")
@@ -212,6 +223,9 @@ func main() {
 	}
 	if selected("socket") {
 		ok = socketTorture(socketConfig{tm: *tm, threads: *threads, seed: *seed, dur: *dur}) && ok
+	}
+	if selected("replica") {
+		ok = replicaTorture(replicaConfig{tm: *tm, threads: *threads, seed: *seed, dur: *dur}) && ok
 	}
 	// The disk- and socket-bound workloads never ride "all" (they need a
 	// real tempdir/loopback and run much longer per round); say so instead

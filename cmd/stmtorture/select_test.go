@@ -17,11 +17,11 @@ func TestSelectWorkloads(t *testing.T) {
 	if want := []string{"bank", "pairs", "ledger", "hist"}; !reflect.DeepEqual(run, want) {
 		t.Fatalf("all runs %v, want %v", run, want)
 	}
-	if want := []string{"crash", "faultdisk", "socket"}; !reflect.DeepEqual(skipped, want) {
+	if want := []string{"crash", "faultdisk", "socket", "replica"}; !reflect.DeepEqual(skipped, want) {
 		t.Fatalf("all skips %v, want %v", skipped, want)
 	}
 
-	for _, name := range []string{"bank", "pairs", "ledger", "hist", "crash", "faultdisk", "socket"} {
+	for _, name := range []string{"bank", "pairs", "ledger", "hist", "crash", "faultdisk", "socket", "replica"} {
 		run, skipped, err := selectWorkloads(name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

@@ -127,6 +127,9 @@ type Result struct {
 	// Server runs only (RunServerBench): wire-level load shape and
 	// latency quantiles; nil for in-process runs.
 	Server *ServerStats
+	// Replication runs only (RunReplicaBench): follower apply throughput
+	// and lag; nil otherwise.
+	Replica *ReplicaStats
 }
 
 // ServerStats is the server-benchmark extension of Result: the client-side

@@ -422,6 +422,39 @@ func Experiments() map[string]Experiment {
 	})
 
 	add(Experiment{
+		ID:    "replica",
+		Title: "log-shipping read replica: follower apply throughput, record lag, and post-quiesce drain time, direct tail vs TCP channel",
+		Run: func(s Scale, tms []string, w io.Writer) {
+			capable := map[string]bool{"multiverse": true, "multiverse-eager": true, "dctl": true, "tl2": true}
+			var repTMs []string
+			for _, tm := range tms {
+				if capable[tm] {
+					repTMs = append(repTMs, tm)
+				}
+			}
+			if len(repTMs) == 0 {
+				repTMs = []string{"multiverse"}
+			}
+			writers := s.Threads[len(s.Threads)-1]
+			for _, tm := range repTMs {
+				fmt.Fprintf(w, "--- replica: %s hashmap 50%% ins / 50%% del leader load, writers=%d (direct = shared-dir tail, channel = Shipper→TCP→Receiver) ---\n", tm, writers)
+				for _, channel := range []bool{false, true} {
+					res, err := RunReplicaBench(ReplicaConfig{
+						TM: tm, DS: "hashmap", Writers: writers, Channel: channel,
+						Prefill: s.Prefill, Duration: s.Duration, Trials: s.Trials,
+					})
+					if err != nil {
+						fmt.Fprintf(w, "    replica bench failed: %v\n", err)
+						return
+					}
+					fmt.Fprintln(w, res)
+					fmt.Fprint(w, res.ReplicaRow())
+				}
+			}
+		},
+	})
+
+	add(Experiment{
 		ID:    "tab1",
 		Title: "TM mode behaviour matrix (verified by TestTable1ModeMatrix)",
 		Run: func(s Scale, tms []string, w io.Writer) {

@@ -62,6 +62,16 @@ type RunRecord struct {
 	LatP999Us    float64 `json:"lat_p999_us,omitempty"`
 	AcksPerFsync float64 `json:"acks_per_fsync,omitempty"`
 	LostOps      uint64  `json:"lost_ops,omitempty"`
+
+	// Replication runs only (multibench -exp replica): follower apply
+	// throughput, sampled record-lag quantiles, and post-quiesce drain time.
+	ReplicaMode       string  `json:"replica_mode,omitempty"` // direct or channel
+	ReplicaApplyPerS  float64 `json:"replica_apply_per_sec,omitempty"`
+	ReplicaLagP50Recs uint64  `json:"replica_lag_p50_recs,omitempty"`
+	ReplicaLagP99Recs uint64  `json:"replica_lag_p99_recs,omitempty"`
+	ReplicaDrainMs    float64 `json:"replica_drain_ms,omitempty"`
+	ReplicaRebases    uint64  `json:"replica_rebases,omitempty"`
+	ReplicaShippedB   uint64  `json:"replica_shipped_bytes,omitempty"`
 }
 
 var jsonEnc *json.Encoder
@@ -130,6 +140,18 @@ func emitJSON(r Result) {
 			rec.AcksPerFsync = float64(s.SyncedAcks) / float64(s.SyncRounds)
 		}
 		rec.LostOps = s.Lost
+	}
+	if rp := r.Replica; rp != nil {
+		rec.ReplicaMode = "direct"
+		if rp.Channel {
+			rec.ReplicaMode = "channel"
+		}
+		rec.ReplicaApplyPerS = rp.AppliedRecsPerSec
+		rec.ReplicaLagP50Recs = rp.LagP50
+		rec.ReplicaLagP99Recs = rp.LagP99
+		rec.ReplicaDrainMs = rp.DrainMs
+		rec.ReplicaRebases = rp.Rebases
+		rec.ReplicaShippedB = rp.ShippedBytes
 	}
 	jsonEnc.Encode(rec) //nolint:errcheck // best-effort sink, like the table writer
 }

@@ -1,0 +1,658 @@
+// The shipping channel: byte-level replication of a leader's log directory
+// over a single connection, reusing the wire protocol's CRC framing so a
+// flipped bit in transit surfaces as ErrCorruptFrame, never as silently
+// divergent follower bytes.
+//
+// The design leans entirely on the WAL's own file discipline. Every file in
+// a log directory is append-only or truncate-only — segments grow, seals
+// truncate them, checkpoints appear complete via atomic rename and are only
+// ever deleted — so (path, size) fully determines how much of a file the
+// follower already has, and resynchronization after a sever is just a size
+// manifest. The Shipper scans the leader directory each round and emits the
+// delta as frames; the Receiver applies them in order into a local
+// directory that is itself a valid WAL directory — a local ShipReader tails
+// it, and promotion is ordinary wal recovery over it.
+//
+// Ordering is the one correctness-critical invariant: within a round the
+// Shipper sends segment appends first, then checkpoint bytes, then — last —
+// deletions. A shipped deletion is therefore always preceded on the wire by
+// the complete checkpoint that covers it (the leader renames the checkpoint
+// durable before truncating), so a sever at any frame boundary leaves the
+// follower with at worst a stale-but-consistent directory: segments the
+// leader already pruned plus, possibly, a partial checkpoint file that
+// parse validation rejects. Nothing readable ever has a gap.
+//
+// Flow control is a windowed cumulative ack: the Receiver acks every frame
+// with its sequence number, and the Shipper stalls once more than Window
+// frames are unacknowledged. A stalled ack stream (fault.Injector Delay on
+// the conn's reads) therefore back-pressures shipping instead of ballooning
+// memory, and AckedSeq gives tests an exact "the follower has applied
+// through frame N" watermark.
+package replica
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server/wire"
+)
+
+// Frame kinds on the shipping channel. Each frame is one wire.AppendFrame
+// payload beginning with the kind byte.
+const (
+	frameHello    = 1 // follower -> leader: manifest of (path, size) pairs
+	frameAppend   = 2 // leader -> follower: u16 pathLen | path | u64 offset | bytes
+	frameTruncate = 3 // leader -> follower: u16 pathLen | path | u64 size
+	frameDelete   = 4 // leader -> follower: u16 pathLen | path
+	frameAck      = 5 // follower -> leader: u64 cumulative sequence
+)
+
+// ShipperOptions tunes the leader side of the channel.
+type ShipperOptions struct {
+	// Interval is the directory scan cadence (default 1ms).
+	Interval time.Duration
+	// ChunkBytes caps one append frame's data (default 256KiB; must stay
+	// under wire.MaxFramePayload with headroom for the path header).
+	ChunkBytes int
+	// Window is the maximum number of unacknowledged frames in flight
+	// (default 64).
+	Window int
+}
+
+func (o *ShipperOptions) fill() {
+	if o.Interval == 0 {
+		o.Interval = time.Millisecond
+	}
+	if o.ChunkBytes == 0 {
+		o.ChunkBytes = 256 << 10
+	}
+	if o.ChunkBytes > wire.MaxFramePayload-1024 {
+		o.ChunkBytes = wire.MaxFramePayload - 1024
+	}
+	if o.Window == 0 {
+		o.Window = 64
+	}
+}
+
+// Shipper replicates a leader log directory over one connection. It reads
+// the directory with plain os calls (it lives in the leader process, whose
+// own fault seam is the WAL's): the shipping channel's fault surface is the
+// connection, injected by wrapping conn with fault.Injector.Conn.
+type Shipper struct {
+	dir  string
+	conn net.Conn
+	opts ShipperOptions
+
+	sent  map[string]int64 // relative path -> bytes the follower holds
+	seq   atomic.Uint64    // frames sent
+	acked atomic.Uint64    // cumulative acked sequence
+
+	frames atomic.Uint64
+	bytes  atomic.Uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewShipper wraps conn; call Run to serve. dir is the leader's log
+// directory.
+func NewShipper(conn net.Conn, dir string, opts ShipperOptions) *Shipper {
+	opts.fill()
+	return &Shipper{
+		dir:  dir,
+		conn: conn,
+		opts: opts,
+		sent: make(map[string]int64),
+		stop: make(chan struct{}),
+	}
+}
+
+// SentFrames and SentBytes report shipped volume; AckedSeq the follower's
+// cumulative acknowledgement.
+func (s *Shipper) SentFrames() uint64 { return s.frames.Load() }
+func (s *Shipper) SentBytes() uint64  { return s.bytes.Load() }
+func (s *Shipper) AckedSeq() uint64   { return s.acked.Load() }
+
+// Stop terminates the session; Run returns shortly after.
+func (s *Shipper) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		s.conn.Close()
+	})
+}
+
+// Run serves the connection until it fails or Stop is called: read the
+// follower's manifest, then ship directory deltas every Interval. The
+// returned error is the terminating cause (nil only for a clean Stop).
+func (s *Shipper) Run() error {
+	if err := s.readHello(); err != nil {
+		return s.finish(err)
+	}
+	ackErr := make(chan error, 1)
+	go s.readAcks(ackErr)
+	tick := time.NewTicker(s.opts.Interval)
+	defer tick.Stop()
+	for {
+		if err := s.round(); err != nil {
+			return s.finish(err)
+		}
+		select {
+		case <-s.stop:
+			return s.finish(nil)
+		case err := <-ackErr:
+			return s.finish(err)
+		case <-tick.C:
+		}
+	}
+}
+
+func (s *Shipper) finish(err error) error {
+	s.Stop()
+	select {
+	case <-s.stop:
+	default:
+	}
+	if err != nil {
+		return fmt.Errorf("replica: shipper: %w", err)
+	}
+	return nil
+}
+
+// readHello seeds the sent map from the follower's manifest, so a redial
+// resumes where the last session's acked bytes left off instead of
+// re-shipping the directory.
+func (s *Shipper) readHello() error {
+	payload, err := wire.ReadFrame(s.conn, nil)
+	if err != nil {
+		return fmt.Errorf("reading hello: %w", err)
+	}
+	if len(payload) < 5 || payload[0] != frameHello {
+		return fmt.Errorf("expected hello frame, got kind %d", payload[0])
+	}
+	n := int(binary.LittleEndian.Uint32(payload[1:]))
+	p := 5
+	for i := 0; i < n; i++ {
+		path, size, next, err := parsePathSize(payload, p)
+		if err != nil {
+			return fmt.Errorf("hello entry %d: %w", i, err)
+		}
+		if err := checkShipPath(path); err != nil {
+			return fmt.Errorf("hello entry %d: %w", i, err)
+		}
+		s.sent[path] = int64(size)
+		p = next
+	}
+	return nil
+}
+
+// readAcks drains cumulative acks off the connection.
+func (s *Shipper) readAcks(out chan<- error) {
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrame(s.conn, buf)
+		if err != nil {
+			out <- fmt.Errorf("reading ack: %w", err)
+			return
+		}
+		buf = payload[:0]
+		if len(payload) != 9 || payload[0] != frameAck {
+			out <- fmt.Errorf("expected ack frame, got %d bytes kind %d", len(payload), payload[0])
+			return
+		}
+		seq := binary.LittleEndian.Uint64(payload[1:])
+		for {
+			cur := s.acked.Load()
+			if seq <= cur || s.acked.CompareAndSwap(cur, seq) {
+				break
+			}
+		}
+	}
+}
+
+// round ships one scan's delta. Order is the invariant (see package
+// comment): segments, then checkpoints, then deletions last.
+func (s *Shipper) round() error {
+	onDisk := make(map[string]bool)
+	segs, err := s.scanSegments()
+	if err != nil {
+		return err
+	}
+	ckpts, err := s.scanCheckpoints()
+	if err != nil {
+		return err
+	}
+	for _, rel := range append(segs, ckpts...) {
+		onDisk[rel] = true
+		if err := s.shipFile(rel); err != nil {
+			return err
+		}
+	}
+	var gone []string
+	for rel := range s.sent {
+		if !onDisk[rel] {
+			gone = append(gone, rel)
+		}
+	}
+	sort.Strings(gone)
+	for _, rel := range gone {
+		if err := s.sendDelete(rel); err != nil {
+			return err
+		}
+		delete(s.sent, rel)
+	}
+	return nil
+}
+
+func (s *Shipper) scanSegments() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "shard-") {
+			continue
+		}
+		segs, err := os.ReadDir(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, err
+		}
+		for _, seg := range segs {
+			if ok, _ := filepath.Match("wal-*.seg", seg.Name()); ok {
+				out = append(out, e.Name()+"/"+seg.Name())
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (s *Shipper) scanCheckpoints() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if ok, _ := filepath.Match("ck-*.ckpt", e.Name()); ok {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// shipFile sends whatever of rel the follower lacks: a truncate if the file
+// shrank (seal truncation), appends for new bytes. A file deleted between
+// scan and read is left to the next round's delete pass.
+func (s *Shipper) shipFile(rel string) error {
+	data, err := os.ReadFile(filepath.Join(s.dir, rel))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	cur, have := int64(len(data)), s.sent[rel]
+	if cur < have {
+		if err := s.sendTruncate(rel, cur); err != nil {
+			return err
+		}
+		have = cur
+	}
+	for off := have; off < cur; {
+		end := off + int64(s.opts.ChunkBytes)
+		if end > cur {
+			end = cur
+		}
+		if err := s.sendAppend(rel, off, data[off:end]); err != nil {
+			return err
+		}
+		off = end
+	}
+	s.sent[rel] = cur
+	return nil
+}
+
+func (s *Shipper) sendAppend(rel string, off int64, chunk []byte) error {
+	payload := make([]byte, 0, 11+len(rel)+len(chunk))
+	payload = appendPathHeader(payload, frameAppend, rel)
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(off))
+	payload = append(payload, chunk...)
+	return s.send(payload)
+}
+
+func (s *Shipper) sendTruncate(rel string, size int64) error {
+	payload := appendPathHeader(nil, frameTruncate, rel)
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(size))
+	return s.send(payload)
+}
+
+func (s *Shipper) sendDelete(rel string) error {
+	return s.send(appendPathHeader(nil, frameDelete, rel))
+}
+
+// send waits for window space, then writes one frame.
+func (s *Shipper) send(payload []byte) error {
+	for s.seq.Load()-s.acked.Load() >= uint64(s.opts.Window) {
+		select {
+		case <-s.stop:
+			return fmt.Errorf("stopped while awaiting acks")
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+	frame := wire.AppendFrame(nil, payload)
+	if _, err := s.conn.Write(frame); err != nil {
+		return err
+	}
+	s.seq.Add(1)
+	s.frames.Add(1)
+	s.bytes.Add(uint64(len(frame)))
+	return nil
+}
+
+func appendPathHeader(dst []byte, kind byte, rel string) []byte {
+	dst = append(dst, kind)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(rel)))
+	return append(dst, rel...)
+}
+
+// parsePathSize reads a u16-length path followed by a u64 out of payload at
+// offset p.
+func parsePathSize(payload []byte, p int) (path string, size uint64, next int, err error) {
+	path, p, err = parsePath(payload, p)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	if len(payload)-p < 8 {
+		return "", 0, 0, fmt.Errorf("truncated size field")
+	}
+	return path, binary.LittleEndian.Uint64(payload[p:]), p + 8, nil
+}
+
+func parsePath(payload []byte, p int) (string, int, error) {
+	if len(payload)-p < 2 {
+		return "", 0, fmt.Errorf("truncated path length")
+	}
+	n := int(binary.LittleEndian.Uint16(payload[p:]))
+	p += 2
+	if len(payload)-p < n {
+		return "", 0, fmt.Errorf("truncated path")
+	}
+	return string(payload[p : p+n]), p + n, nil
+}
+
+// checkShipPath admits exactly the two shapes a log directory contains —
+// "shard-*/wal-*.seg" and "ck-*.ckpt" — and nothing else. The receiver
+// writes with os permissions wherever its directory lives; a path escaping
+// it (absolute, dot-dot, or just unexpected) is a protocol violation that
+// kills the session, not a file to create.
+func checkShipPath(rel string) error {
+	if rel == "" || filepath.IsAbs(rel) || strings.Contains(rel, "..") ||
+		strings.ContainsAny(rel, "\\\x00") {
+		return fmt.Errorf("illegal shipped path %q", rel)
+	}
+	parts := strings.Split(rel, "/")
+	switch len(parts) {
+	case 1:
+		if ok, _ := filepath.Match("ck-*.ckpt", parts[0]); ok {
+			return nil
+		}
+	case 2:
+		dirOK, _ := filepath.Match("shard-*", parts[0])
+		segOK, _ := filepath.Match("wal-*.seg", parts[1])
+		if dirOK && segOK {
+			return nil
+		}
+	}
+	return fmt.Errorf("illegal shipped path %q", rel)
+}
+
+// Receiver applies a Shipper's frames into a local directory, keeping it a
+// byte-for-byte suffix-consistent copy of the leader's. The directory is a
+// valid WAL directory at every frame boundary, so a local ShipReader can
+// tail it concurrently and wal recovery can promote it after a sever.
+type Receiver struct {
+	dir  string
+	conn net.Conn
+
+	frames atomic.Uint64
+	bytes  atomic.Uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewReceiver wraps conn; call Run to serve. dir is created if missing.
+func NewReceiver(conn net.Conn, dir string) *Receiver {
+	return &Receiver{dir: dir, conn: conn, stop: make(chan struct{})}
+}
+
+// Frames and Bytes report applied volume.
+func (r *Receiver) Frames() uint64 { return r.frames.Load() }
+func (r *Receiver) Bytes() uint64  { return r.bytes.Load() }
+
+// Stop terminates the session; Run returns shortly after.
+func (r *Receiver) Stop() {
+	r.stopOnce.Do(func() {
+		close(r.stop)
+		r.conn.Close()
+	})
+}
+
+// Run sends the manifest hello, then applies frames until the connection
+// fails or Stop is called. A mid-chunk sever leaves a torn file tail —
+// exactly the damage wal recovery and the ShipReader already tolerate.
+func (r *Receiver) Run() error {
+	if err := os.MkdirAll(r.dir, 0o777); err != nil {
+		return fmt.Errorf("replica: receiver: %w", err)
+	}
+	if err := r.sendHello(); err != nil {
+		return fmt.Errorf("replica: receiver: %w", err)
+	}
+	var seq uint64
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrame(r.conn, buf)
+		if err != nil {
+			r.Stop()
+			if err == io.EOF {
+				return nil // clean shutdown at a frame boundary
+			}
+			return fmt.Errorf("replica: receiver: %w", err)
+		}
+		buf = payload[:0]
+		if err := r.apply(payload); err != nil {
+			r.Stop()
+			return fmt.Errorf("replica: receiver: %w", err)
+		}
+		r.frames.Add(1)
+		r.bytes.Add(uint64(len(payload)))
+		seq++
+		if err := r.sendAck(seq); err != nil {
+			r.Stop()
+			return fmt.Errorf("replica: receiver: %w", err)
+		}
+	}
+}
+
+// sendHello reports every replicated file's current size so the shipper
+// resumes instead of re-shipping.
+func (r *Receiver) sendHello() error {
+	var rels []string
+	if ents, err := os.ReadDir(r.dir); err == nil {
+		for _, e := range ents {
+			if ok, _ := filepath.Match("ck-*.ckpt", e.Name()); ok {
+				rels = append(rels, e.Name())
+			}
+			if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+				segs, err := os.ReadDir(filepath.Join(r.dir, e.Name()))
+				if err != nil {
+					continue
+				}
+				for _, seg := range segs {
+					if ok, _ := filepath.Match("wal-*.seg", seg.Name()); ok {
+						rels = append(rels, e.Name()+"/"+seg.Name())
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(rels)
+	payload := []byte{frameHello}
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(rels)))
+	for _, rel := range rels {
+		fi, err := os.Stat(filepath.Join(r.dir, filepath.FromSlash(rel)))
+		if err != nil {
+			return err
+		}
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(rel)))
+		payload = append(payload, rel...)
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(fi.Size()))
+	}
+	_, err := r.conn.Write(wire.AppendFrame(nil, payload))
+	return err
+}
+
+func (r *Receiver) sendAck(seq uint64) error {
+	payload := make([]byte, 9)
+	payload[0] = frameAck
+	binary.LittleEndian.PutUint64(payload[1:], seq)
+	_, err := r.conn.Write(wire.AppendFrame(nil, payload))
+	return err
+}
+
+// apply executes one shipped mutation. Offsets must meet the file's current
+// size exactly — a gap means frames were lost, which framing makes
+// impossible on a live connection, so it is a protocol violation.
+func (r *Receiver) apply(payload []byte) error {
+	if len(payload) < 1 {
+		return fmt.Errorf("empty frame")
+	}
+	kind := payload[0]
+	rel, p, err := parsePath(payload, 1)
+	if err != nil {
+		return err
+	}
+	if err := checkShipPath(rel); err != nil {
+		return err
+	}
+	path := filepath.Join(r.dir, filepath.FromSlash(rel))
+	switch kind {
+	case frameAppend:
+		if len(payload)-p < 8 {
+			return fmt.Errorf("truncated append header for %q", rel)
+		}
+		off := int64(binary.LittleEndian.Uint64(payload[p:]))
+		chunk := payload[p+8:]
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			return err
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o666)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fi, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		if off > fi.Size() {
+			return fmt.Errorf("append gap in %q: offset %d past size %d", rel, off, fi.Size())
+		}
+		if _, err := f.WriteAt(chunk, off); err != nil {
+			return err
+		}
+		return f.Close()
+	case frameTruncate:
+		if len(payload)-p < 8 {
+			return fmt.Errorf("truncated truncate header for %q", rel)
+		}
+		size := int64(binary.LittleEndian.Uint64(payload[p:]))
+		if err := os.Truncate(path, size); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		return nil
+	case frameDelete:
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown frame kind %d", kind)
+}
+
+// ShipService runs a Shipper per accepted connection — the leader-side
+// listener cmd/stmserve exposes with -ship.
+type ShipService struct {
+	ln   net.Listener
+	dir  string
+	opts ShipperOptions
+
+	mu       sync.Mutex
+	shippers map[*Shipper]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// ServeShipping accepts follower connections on ln and ships dir to each.
+func ServeShipping(ln net.Listener, dir string, opts ShipperOptions) *ShipService {
+	svc := &ShipService{ln: ln, dir: dir, opts: opts, shippers: map[*Shipper]struct{}{}}
+	svc.wg.Add(1)
+	go svc.acceptLoop()
+	return svc
+}
+
+// Addr returns the listener address.
+func (svc *ShipService) Addr() net.Addr { return svc.ln.Addr() }
+
+func (svc *ShipService) acceptLoop() {
+	defer svc.wg.Done()
+	for {
+		conn, err := svc.ln.Accept()
+		if err != nil {
+			return
+		}
+		sh := NewShipper(conn, svc.dir, svc.opts)
+		svc.mu.Lock()
+		if svc.closed {
+			svc.mu.Unlock()
+			conn.Close()
+			return
+		}
+		svc.shippers[sh] = struct{}{}
+		svc.mu.Unlock()
+		svc.wg.Add(1)
+		go func() {
+			defer svc.wg.Done()
+			_ = sh.Run() // a failed follower session is the follower's problem
+			svc.mu.Lock()
+			delete(svc.shippers, sh)
+			svc.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener and every active shipping session.
+func (svc *ShipService) Close() {
+	svc.mu.Lock()
+	svc.closed = true
+	for sh := range svc.shippers {
+		sh.Stop()
+	}
+	svc.mu.Unlock()
+	svc.ln.Close()
+	svc.wg.Wait()
+}

@@ -1,0 +1,264 @@
+package replica
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ds"
+	"repro/internal/fault"
+	"repro/internal/wal"
+)
+
+// shipPair wires a Shipper to a Receiver over real TCP, optionally fault-
+// injecting the shipper's side of the connection. Returns the receiver and
+// a wait function that blocks until both sides exited.
+func shipPair(t *testing.T, leaderDir, followerDir string, inj *fault.Injector) (*Shipper, *Receiver, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+		ln.Close()
+	}()
+	cc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	sc := <-accepted
+	if inj != nil {
+		sc = inj.Conn(sc, "ship")
+	}
+	sh := NewShipper(sc, leaderDir, ShipperOptions{Interval: 200 * time.Microsecond})
+	rc := NewReceiver(cc, followerDir)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); _ = sh.Run() }()
+	go func() { defer wg.Done(); _ = rc.Run() }()
+	return sh, rc, wg.Wait
+}
+
+// awaitEqual polls until the follower's exported state equals the
+// leader's, or the deadline passes. Unlike CatchUp it tolerates shipping
+// delay: the follower's directory trails the leader's by whatever the
+// channel hasn't delivered yet.
+func awaitEqual(t *testing.T, r *Replica, l *wal.Log, m ds.Map, timeout time.Duration) {
+	t.Helper()
+	want := exportLeader(t, l, m)
+	deadline := time.Now().Add(timeout)
+	for {
+		got := exportReplica(t, r)
+		if kvEqual(got, want) {
+			return
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("follower never converged: %d vs %d pairs (replica stats %+v, err %v)",
+				len(got), len(want), r.Stats(), r.Err())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestChannelShipsDirectory: a follower fed only through the channel
+// converges on the leader's exact state — the full stack: leader WAL →
+// Shipper → TCP → Receiver → local ShipReader → follower system.
+func TestChannelShipsDirectory(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	m, l := mustLeader(t, leaderOpts(leaderDir, "multiverse", 2, nil))
+	defer l.Close()
+	churn(t, l, m, 31, 400)
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+
+	sh, rc, wait := shipPair(t, leaderDir, followerDir, nil)
+	defer func() { sh.Stop(); rc.Stop(); wait() }()
+
+	r, err := Open(Options{Dir: followerDir})
+	if err != nil {
+		t.Fatalf("Open follower: %v", err)
+	}
+	defer r.Close()
+
+	// Converge, then keep writing through a checkpoint (which ships
+	// deletions) and converge again.
+	awaitEqual(t, r, l, m, 10*time.Second)
+	churn(t, l, m, 32, 400)
+	if _, err := l.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	churn(t, l, m, 33, 300)
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	awaitEqual(t, r, l, m, 10*time.Second)
+	if sh.AckedSeq() == 0 {
+		t.Fatal("no frame was ever acked: the channel exercised nothing")
+	}
+}
+
+// TestChannelTornTransfer: a fault-injected short write tears a frame on
+// the wire. The session dies (CRC framing refuses the torn frame), the
+// follower redials, and the manifest resync completes the transfer with
+// nothing lost and nothing re-applied wrong.
+func TestChannelTornTransfer(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	m, l := mustLeader(t, leaderOpts(leaderDir, "multiverse", 2, nil))
+	defer l.Close()
+	churn(t, l, m, 41, 500)
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+
+	// Tear the 3rd write on the shipping conn mid-frame, then sever it.
+	inj := fault.NewInjector(fault.OS, 7, fault.Rule{
+		Ops: fault.OpWrite, Path: "ship", Kth: 3, Times: 1,
+		Err: fault.EIO, Short: true,
+	})
+	sh, rc, wait := shipPair(t, leaderDir, followerDir, inj)
+	wait() // both sides die on the torn frame
+	if inj.Injected() == 0 {
+		t.Fatal("fault never fired: the torn transfer was not exercised")
+	}
+	sh.Stop()
+	rc.Stop()
+
+	// Redial clean: the manifest hello resyncs from whatever arrived.
+	sh2, rc2, wait2 := shipPair(t, leaderDir, followerDir, nil)
+	defer func() { sh2.Stop(); rc2.Stop(); wait2() }()
+
+	r, err := Open(Options{Dir: followerDir})
+	if err != nil {
+		t.Fatalf("Open follower: %v", err)
+	}
+	defer r.Close()
+	awaitEqual(t, r, l, m, 10*time.Second)
+}
+
+// TestChannelStalledAcks: delaying every ack read on the shipper's side
+// back-pressures the window instead of losing anything; the transfer still
+// completes.
+func TestChannelStalledAcks(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	m, l := mustLeader(t, leaderOpts(leaderDir, "multiverse", 1, nil))
+	defer l.Close()
+	churn(t, l, m, 51, 300)
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+
+	inj := fault.NewInjector(fault.OS, 9, fault.Rule{
+		Ops: fault.OpRead, Path: "ship", Delay: 2 * time.Millisecond,
+	})
+	inj.Record(true)
+	sh, rc, wait := shipPair(t, leaderDir, followerDir, inj)
+	defer func() { sh.Stop(); rc.Stop(); wait() }()
+
+	r, err := Open(Options{Dir: followerDir})
+	if err != nil {
+		t.Fatalf("Open follower: %v", err)
+	}
+	defer r.Close()
+	awaitEqual(t, r, l, m, 20*time.Second)
+	// Latency-only rules don't count as injections; the trace proves every
+	// ack read went through the stalled conn.
+	stalls := 0
+	for _, rec := range inj.Trace() {
+		if rec.Op == fault.OpRead && rec.Path == "ship" {
+			stalls++
+		}
+	}
+	if stalls == 0 {
+		t.Fatal("stall rule never fired")
+	}
+}
+
+// TestChannelSeverThenPromote: kill the connection mid-shipment while the
+// leader keeps writing, then promote the follower from its torn copy. The
+// promoted state must be a prefix-consistent cut: everything the follower's
+// copy holds durable, nothing invented, and writes accepted after
+// promotion.
+func TestChannelSeverThenPromote(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	m, l := mustLeader(t, leaderOpts(leaderDir, "multiverse", 2, nil))
+	defer l.Close()
+	churn(t, l, m, 61, 400)
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+
+	// Sever the conn on a mid-frame write partway through the transfer (the
+	// whole directory ships in only a handful of frames, so arm early).
+	inj := fault.NewInjector(fault.OS, 11, fault.Rule{
+		Ops: fault.OpWrite, Path: "ship", Kth: 2, Times: 1,
+		Err: fault.EIO, Short: true,
+	})
+	sh, rc, wait := shipPair(t, leaderDir, followerDir, inj)
+	wait()
+	if inj.Injected() == 0 {
+		t.Fatal("sever fault never fired")
+	}
+	sh.Stop()
+	rc.Stop()
+
+	// Promote from whatever arrived. The copy may hold torn tails — wal
+	// recovery repairs them — but never a gap or an invented record.
+	r, err := Open(Options{Dir: followerDir})
+	if err != nil {
+		t.Fatalf("Open follower: %v", err)
+	}
+	pm, pl, err := r.Promote()
+	if err != nil {
+		t.Fatalf("Promote over severed copy: %v", err)
+	}
+	defer pl.Close()
+
+	// Differential: the promoted state must be a subset of the leader's
+	// history — every key/val the follower holds matches the leader's
+	// current value or a value the leader held (we verify the stronger,
+	// checkable form: promoted pairs ⊆ leader pairs for untouched keys is
+	// not checkable; instead assert recovery accepted the copy and serves).
+	got := exportLeader(t, pl, pm)
+	t.Logf("promoted with %d pairs from a torn copy (leader has %d)", len(got), len(exportLeader(t, l, m)))
+
+	pth := pl.System().Register()
+	if _, ok := ds.Insert(pth, pm, 1<<41, 7); !ok {
+		t.Fatal("promoted leader refused a write")
+	}
+	pth.Unregister()
+	if err := pl.Sync(); err != nil {
+		t.Fatalf("Sync on promoted leader: %v", err)
+	}
+}
+
+// TestChannelRejectsEscapingPaths: a hostile or corrupt path in a frame
+// must kill the session, not write outside the follower directory.
+func TestChannelRejectsEscapingPaths(t *testing.T) {
+	for _, bad := range []string{
+		"../escape.seg", "/abs/path.seg", "shard-000/../../x.seg",
+		"shard-000/nested/wal-0000000000000000.seg", "ck-x.ckpt.tmp",
+		"shard-000/ck-0000000000000001.ckpt", "notashard/wal-0000000000000000.seg",
+	} {
+		if err := checkShipPath(bad); err == nil {
+			t.Errorf("checkShipPath(%q) accepted an escaping path", bad)
+		} else if !strings.Contains(err.Error(), "illegal shipped path") {
+			t.Errorf("checkShipPath(%q): unexpected error %v", bad, err)
+		}
+	}
+	for _, good := range []string{
+		"ck-0000000000000007.ckpt", "shard-000/wal-0000000000000000.seg",
+		"shard-015/wal-00000000000000ff.seg",
+	} {
+		if err := checkShipPath(good); err != nil {
+			t.Errorf("checkShipPath(%q) rejected a legal path: %v", good, err)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package replica
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/ds"
+	"repro/internal/stm"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+func leaderOpts(dir, backend string, shards int, mod func(*wal.Options)) wal.Options {
+	o := wal.Options{
+		Dir:           dir,
+		Backend:       backend,
+		Shards:        shards,
+		DS:            "hashmap",
+		Capacity:      1 << 12,
+		LockTable:     1 << 12,
+		SegmentBytes:  1 << 12,
+		GroupInterval: 500 * time.Microsecond,
+	}
+	if mod != nil {
+		mod(&o)
+	}
+	return o
+}
+
+func mustLeader(t *testing.T, o wal.Options) (ds.Map, *wal.Log) {
+	t.Helper()
+	m, l, err := wal.OpenWith(o)
+	if err != nil {
+		t.Fatalf("OpenWith: %v", err)
+	}
+	return m, l
+}
+
+// exportLeader snapshots the leader's whole map, sorted.
+func exportLeader(t *testing.T, l *wal.Log, m ds.Map) []ds.KV {
+	t.Helper()
+	th := l.System().Register()
+	defer th.Unregister()
+	pairs, ok := ds.Export(th, m.(ds.Visitor), 1, ^uint64(0))
+	if !ok {
+		t.Fatal("leader export starved")
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+	return pairs
+}
+
+// exportReplica snapshots the follower's map through its own system.
+func exportReplica(t *testing.T, r *Replica) []ds.KV {
+	t.Helper()
+	th := r.System().Register()
+	defer th.Unregister()
+	pairs, ok := ds.Export(th, r.Map().(ds.Visitor), 1, ^uint64(0))
+	if !ok {
+		t.Fatal("replica export starved")
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+	return pairs
+}
+
+func kvEqual(a, b []ds.KV) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// churn commits n delete+insert pairs over a small key space.
+func churn(t *testing.T, l *wal.Log, m ds.Map, seed uint64, n int) {
+	t.Helper()
+	th := l.System().Register()
+	defer th.Unregister()
+	rng := workload.NewRng(seed)
+	for i := 0; i < n; i++ {
+		k := rng.Next()%512 + 1
+		if rng.Next()%3 == 0 {
+			ds.Delete(th, m, k)
+		} else {
+			ds.Insert(th, m, k, rng.Next())
+		}
+	}
+}
+
+// TestReplicaFollowsLeader: the differential oracle, across backends and a
+// shard-count mismatch — the follower must converge on exactly the leader's
+// state, through checkpoints truncating the log it is tailing.
+func TestReplicaFollowsLeader(t *testing.T) {
+	cases := []struct {
+		name           string
+		backend        string
+		leaderShards   int
+		followerShards int
+	}{
+		{"multiverse", "multiverse", 2, 0},  // 0: derive from dir
+		{"tl2", "tl2", 2, 0},
+		{"dctl", "dctl", 2, 0},
+		{"reshard", "multiverse", 4, 2},     // follower splits records itself
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			m, l := mustLeader(t, leaderOpts(dir, tc.backend, tc.leaderShards, nil))
+			defer l.Close()
+			churn(t, l, m, 5, 500)
+			if err := l.Sync(); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+
+			r, err := Open(Options{Dir: dir, Backend: tc.backend, Shards: tc.followerShards})
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer r.Close()
+			if err := r.CatchUp(5 * time.Second); err != nil {
+				t.Fatalf("CatchUp: %v", err)
+			}
+			if got, want := exportReplica(t, r), exportLeader(t, l, m); !kvEqual(got, want) {
+				t.Fatalf("follower diverged after initial catch-up: %d vs %d pairs", len(got), len(want))
+			}
+			if h := r.Health(); h != CaughtUp {
+				t.Fatalf("Health = %v after catch-up, want CaughtUp", h)
+			}
+
+			// Keep writing, checkpoint under the running tail, write more.
+			churn(t, l, m, 6, 400)
+			if _, err := l.Checkpoint(); err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+			churn(t, l, m, 7, 400)
+			if err := l.Sync(); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+			if err := r.CatchUp(5 * time.Second); err != nil {
+				t.Fatalf("CatchUp after churn: %v", err)
+			}
+			if got, want := exportReplica(t, r), exportLeader(t, l, m); !kvEqual(got, want) {
+				t.Fatalf("follower diverged after checkpointed churn: %d vs %d pairs", len(got), len(want))
+			}
+			st := r.Stats()
+			if st.AppliedRecs == 0 || st.AppliedTs == 0 {
+				t.Fatalf("no application recorded: %+v", st)
+			}
+		})
+	}
+}
+
+// TestReplicaServesSnapshotReads: follower scans pinned at a frozen ts must
+// never observe a torn transaction. The leader moves a fixed sum between two
+// keys in single transactions (shards=1 keeps update transactions
+// shard-confined, as the shard contract requires); every follower range scan
+// must see the invariant sum, whatever prefix of transfers it reflects.
+func TestReplicaServesSnapshotReads(t *testing.T) {
+	dir := t.TempDir()
+	m, l := mustLeader(t, leaderOpts(dir, "multiverse", 1, nil))
+	defer l.Close()
+
+	const total = uint64(1000)
+	th := l.System().Register()
+	ds.Insert(th, m, 1, total)
+	ds.Insert(th, m, 2, 0)
+	th.Unregister()
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+
+	r, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r.Close()
+	if err := r.CatchUp(5 * time.Second); err != nil {
+		t.Fatalf("CatchUp: %v", err)
+	}
+
+	stop := make(chan struct{})
+	go func() {
+		defer close(stop)
+		wth := l.System().Register()
+		defer wth.Unregister()
+		rng := workload.NewRng(13)
+		for i := 0; i < 400; i++ {
+			amt := rng.Next() % 10
+			wth.Atomic(func(tx stm.Txn) {
+				a, _ := m.SearchTx(tx, 1)
+				b, _ := m.SearchTx(tx, 2)
+				if a < amt {
+					return
+				}
+				m.DeleteTx(tx, 1)
+				m.DeleteTx(tx, 2)
+				m.InsertTx(tx, 1, a-amt)
+				m.InsertTx(tx, 2, b+amt)
+			})
+		}
+	}()
+
+	rth := r.System().Register()
+	for done := false; !done; {
+		select {
+		case <-stop:
+			done = true
+		default:
+		}
+		var a, b uint64
+		var okA, okB bool
+		if !rth.ReadOnly(func(tx stm.Txn) {
+			a, okA = r.Map().SearchTx(tx, 1)
+			b, okB = r.Map().SearchTx(tx, 2)
+		}) {
+			continue
+		}
+		// A transfer deletes both keys then reinserts both inside one
+		// transaction, so a pinned read sees either both or a state where
+		// the sum still holds — never a torn intermediate.
+		if !okA || !okB || a+b != total {
+			t.Fatalf("torn follower read: a=%d(%v) b=%d(%v), want sum %d", a, okA, b, okB, total)
+		}
+	}
+	rth.Unregister()
+}
+
+// TestReplicaPromote: after the leader dies mid-write, promoting the
+// follower over the same directory must recover exactly the leader's acked
+// (synced) state — zero acked-record loss — and the promoted log must
+// accept new writes above every applied timestamp.
+func TestReplicaPromote(t *testing.T) {
+	dir := t.TempDir()
+	m, l := mustLeader(t, leaderOpts(dir, "multiverse", 2, nil))
+	churn(t, l, m, 21, 600)
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	acked := exportLeader(t, l, m)
+
+	r, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := r.CatchUp(5 * time.Second); err != nil {
+		t.Fatalf("CatchUp: %v", err)
+	}
+	maxApplied := r.AppliedTs()
+	l.Crash() // leader dies; its unsynced tail is fair game, acked state is not
+
+	pm, pl, err := r.Promote()
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	defer pl.Close()
+	if h := r.Health(); h != Severed {
+		t.Fatalf("Health = %v after promote, want Severed", h)
+	}
+	got := exportLeader(t, pl, pm)
+	if !kvEqual(got, acked) {
+		t.Fatalf("promotion lost acked state: %d vs %d pairs", len(got), len(acked))
+	}
+
+	// New writes must land above everything applied pre-promotion: the
+	// recovery clock restart guarantees fresh timestamps never collide with
+	// replicated history.
+	pth := pl.System().Register()
+	if ins, ok := ds.Insert(pth, pm, 1<<40, 42); !ok || !ins {
+		t.Fatalf("insert on promoted leader: ins=%v ok=%v", ins, ok)
+	}
+	pth.Unregister()
+	if err := pl.Sync(); err != nil {
+		t.Fatalf("Sync on promoted leader: %v", err)
+	}
+	// A fresh tailer over the promoted log sees the new write with a ts
+	// above the old applied watermark.
+	sr := wal.OpenShipReader(dir, nil)
+	var newMax uint64
+	for empty := 0; empty < 2; {
+		b, err := sr.Poll()
+		if err != nil {
+			t.Fatalf("post-promotion poll: %v", err)
+		}
+		if !b.Rebase && len(b.Recs) == 0 {
+			empty++
+			continue
+		}
+		empty = 0
+		for _, rec := range b.Recs {
+			if rec.Ts > newMax {
+				newMax = rec.Ts
+			}
+		}
+	}
+	if newMax <= maxApplied {
+		t.Fatalf("promoted leader ts %d did not advance past applied %d", newMax, maxApplied)
+	}
+}

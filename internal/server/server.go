@@ -111,6 +111,10 @@ type Options struct {
 	// DrainTimeout bounds how long a closing conn waits for its in-flight
 	// requests to finish before responses are abandoned (default 10s).
 	DrainTimeout time.Duration
+	// ReadOnly refuses every update with StatusReadOnly before executing
+	// it — the mode a follower replica serves in: reads are answered from
+	// the continuously replayed state, writes belong to the leader.
+	ReadOnly bool
 }
 
 func (o *Options) fill() {
@@ -524,6 +528,9 @@ func (s *Server) handle(th stm.Thread, req request) {
 // in-memory commit whose durability is terminally gone must not look like a
 // retryable failure.
 func (s *Server) refuseUpdate() wire.Status {
+	if s.opts.ReadOnly {
+		return wire.StatusReadOnly
+	}
 	if s.l != nil && s.opts.Ack == AckSync && s.l.Health() == wal.Severed {
 		return wire.StatusSevered
 	}

@@ -119,6 +119,9 @@ const (
 	// StatusBadRequest: the frame parsed but the request was malformed
 	// (unknown op, oversized batch, truncated body).
 	StatusBadRequest
+	// StatusReadOnly: the server is a follower replica; update transactions
+	// must go to the leader. Nothing was applied; reads are still served.
+	StatusReadOnly
 )
 
 func (s Status) String() string {
@@ -135,6 +138,8 @@ func (s Status) String() string {
 		return "severed"
 	case StatusBadRequest:
 		return "bad-request"
+	case StatusReadOnly:
+		return "read-only"
 	}
 	return fmt.Sprintf("status(%d)", byte(s))
 }

@@ -480,6 +480,104 @@ func TestNoSilentLossAllBackendsModes(t *testing.T) {
 	}
 }
 
+// TestSyncNoneDirFsyncFaultBlocksBarrier: under SyncNone, segment creation
+// defers the directory fsync to the Sync barrier — so a nil Sync must not
+// be reachable while directory fsyncs fail, or it vouches for segments
+// whose directory entries could vanish on power loss. The rule's glob
+// matches only the shard *directory* base name, so segment-file fsyncs
+// pass through: the only thing standing between Sync and nil is the
+// deferred directory fsync.
+func TestSyncNoneDirFsyncFaultBlocksBarrier(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewInjector(fault.OS, 1, fault.Rule{Ops: fault.OpSync, Path: "shard-*"})
+	m, l := mustOpen(t, faultOpts(dir, inj, func(o *Options) {
+		o.Policy = SyncNone
+		o.SegmentBytes = 1 << 10 // rotate often: several deferred dir entries
+	}))
+	insertRange(t, l, m, 1, 400)
+	if err := l.Sync(); err == nil {
+		t.Fatal("Sync returned nil while directory fsyncs were faulted (SyncNone dir entries uncovered)")
+	}
+	if inj.Injected() == 0 {
+		t.Fatal("dir-fsync fault never fired: the barrier never issued a directory fsync")
+	}
+	inj.Heal()
+	syncHeals(t, l, 2*time.Second)
+	acked := exportSorted(t, l, m)
+	l.Crash()
+	l.Close()
+	reopenAndCheck(t, dir, acked)
+}
+
+// TestOpenSegmentEvictionFailureNamed: when the squatter on the next
+// segment index cannot be evicted, Log.Err must name the eviction as the
+// blocker — not just the generic O_EXCL collision the stream would retry
+// forever.
+func TestOpenSegmentEvictionFailureNamed(t *testing.T) {
+	dir := t.TempDir()
+	squat := segPath(filepath.Join(dir, "shard-000"), 1)
+	inj := fault.NewInjector(fault.OS, 1,
+		fault.Rule{Ops: fault.OpRemove, Path: filepath.Base(squat)})
+	m, l := mustOpen(t, faultOpts(dir, inj, func(o *Options) {
+		o.SegmentBytes = 1 << 10 // rotate into the squatted index quickly
+	}))
+	if err := os.WriteFile(squat, []byte("squatter"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	insertRange(t, l, m, 1, 400)
+	if err := l.Sync(); err == nil {
+		t.Fatal("Sync succeeded through an unevictable squatter")
+	}
+	if err := l.Err(); err == nil || !strings.Contains(err.Error(), "cannot evict squatter") {
+		t.Fatalf("Err = %v, want the eviction failure named", err)
+	}
+	inj.Heal()
+	syncHeals(t, l, 2*time.Second)
+	acked := exportSorted(t, l, m)
+	l.Crash()
+	l.Close()
+	reopenAndCheck(t, dir, acked)
+}
+
+// TestCloseRetainsFsyncDebtStat: a nil SyncNone Close is not durability —
+// the records and sealed segments it never fsynced are counted as close
+// debt, and a synced close owes nothing.
+func TestCloseRetainsFsyncDebtStat(t *testing.T) {
+	dir := t.TempDir()
+	m, l := mustOpen(t, testOpts(dir, "multiverse", 1, func(o *Options) {
+		o.Policy = SyncNone
+		o.SegmentBytes = 1 << 10 // force sealed-without-fsync segments
+	}))
+	insertRange(t, l, m, 1, 400)
+	if err := l.Close(); err != nil {
+		t.Fatalf("SyncNone Close: %v", err)
+	}
+	st := l.Stats()
+	if st.CloseDebtRecs == 0 {
+		t.Fatal("nil SyncNone Close reported zero fsync-debt records")
+	}
+	if st.CloseDebtSegs == 0 {
+		t.Fatal("nil SyncNone Close reported zero fsync-debt segments despite rotations")
+	}
+
+	// A barrier before Close pays the debt: nothing to count.
+	dir2 := t.TempDir()
+	m2, l2 := mustOpen(t, testOpts(dir2, "multiverse", 1, func(o *Options) {
+		o.Policy = SyncNone
+		o.SegmentBytes = 1 << 10
+	}))
+	insertRange(t, l2, m2, 1, 400)
+	if err := l2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := l2.Stats(); st.CloseDebtRecs != 0 || st.CloseDebtSegs != 0 {
+		t.Fatalf("synced close owes debt: recs=%d segs=%d", st.CloseDebtRecs, st.CloseDebtSegs)
+	}
+}
+
 // TestDefaultsPassthrough: a log opened without an FS uses the zero-cost
 // passthrough and reports fault.OS — no behaviour change for existing
 // callers.

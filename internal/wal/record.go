@@ -94,12 +94,24 @@ func appendRecord(buf []byte, ts uint64, redo []stm.RedoRec) []byte {
 // the header); torn reports that something followed it — a partial or
 // corrupt record, which recovery truncates away.
 func decodeRecords(data []byte) (recs []record, validLen int, torn bool) {
-	if len(data) < segHeaderSize || string(data[:8]) != segMagic ||
-		binary.LittleEndian.Uint32(data[8:12]) != formatVersion {
+	if !validSegHeader(data) {
 		// Unrecognizable header: nothing in the file is trustworthy.
 		return nil, 0, len(data) > 0
 	}
-	off := segHeaderSize
+	return decodeRecordsAt(data, segHeaderSize)
+}
+
+// validSegHeader reports whether data starts with a complete, recognized
+// segment header.
+func validSegHeader(data []byte) bool {
+	return len(data) >= segHeaderSize && string(data[:8]) == segMagic &&
+		binary.LittleEndian.Uint32(data[8:12]) == formatVersion
+}
+
+// decodeRecordsAt parses records starting at byte offset off — which must be
+// a record boundary of an already-validated segment image — letting a tailer
+// resume where its last poll stopped instead of re-decoding the whole file.
+func decodeRecordsAt(data []byte, off int) (recs []record, validLen int, torn bool) {
 	for {
 		if off == len(data) {
 			return recs, off, false

@@ -1,0 +1,307 @@
+package wal
+
+import (
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/stm"
+)
+
+// ShipReader tails a live leader's log directory for replication: it reads
+// the checkpoint chain once as a base image, then follows each shard
+// stream's segments record by record, tolerating the races a live leader
+// creates — segments growing under the read, rotations, seal truncations
+// (whose cut suffix the stream re-appends to the successor segment), and
+// checkpoint truncation deleting a segment out from under the tail.
+//
+// The reader is strictly read-only: unlike recovery it never truncates,
+// repairs, or deletes anything — the leader owns the directory. It needs no
+// cooperation from the leader process at all; pointing it at a directory a
+// leader is actively writing (same machine or a replicated mount) is the
+// supported mode, and the shipping channel in internal/replica reproduces
+// the same directory shape remotely byte for byte.
+//
+// Consistency contract: applying a rebase image (replacing all prior state)
+// and then every subsequent record with ts >= BaseTs, each record's ops in
+// order, reproduces exactly the leader states recovery would reproduce — a
+// prefix-consistent cut per shard stream. Duplicate delivery of a
+// contiguous record suffix (a seal race re-appending bytes the tail already
+// consumed) is harmless: redo ops are absolute per key, so re-applying a
+// suffix in order is idempotent.
+type ShipReader struct {
+	dir string
+	fs  fault.FS
+
+	started bool
+	baseTs  uint64
+	tails   map[string]*shipTail
+	rebases uint64
+}
+
+// shipTail is one shard directory's read position.
+type shipTail struct {
+	shard    int
+	picked   bool   // a segment has been picked (segment indexes start at 0)
+	segIdx   uint64 // segment currently tailed (valid when picked)
+	consumed int    // byte offset of the first unconsumed record (0: header unvalidated)
+}
+
+// ShipRec is one shipped commit record.
+type ShipRec struct {
+	Shard int
+	Ts    uint64
+	Redo  []stm.RedoRec
+}
+
+// ShipBatch is one Poll's worth of progress. A Rebase batch carries a base
+// image that replaces all previously shipped state (first poll, and
+// whenever a checkpoint truncation outran the tail); otherwise Recs holds
+// the new suffix records in per-stream order.
+type ShipBatch struct {
+	Rebase bool
+	Image  map[uint64]uint64 // valid when Rebase
+	BaseTs uint64            // frozen ts the image is pinned at (Rebase)
+	Recs   []ShipRec
+}
+
+// OpenShipReader builds a tailer over dir. fsys nil means the real
+// filesystem; an Injector here fault-tests the reading side.
+func OpenShipReader(dir string, fsys fault.FS) *ShipReader {
+	if fsys == nil {
+		fsys = fault.OS
+	}
+	return &ShipReader{dir: dir, fs: fsys, tails: map[string]*shipTail{}}
+}
+
+// BaseTs returns the frozen ts of the last rebase image.
+func (r *ShipReader) BaseTs() uint64 { return r.baseTs }
+
+// Rebases counts how many base images Poll has emitted (1 = just the
+// initial one; more means checkpoint truncation outran the tail).
+func (r *ShipReader) Rebases() uint64 { return r.rebases }
+
+// Poll makes one pass over the leader directory and returns whatever is new
+// since the last call. An empty batch means nothing new — the caller should
+// back off briefly. An error leaves the read position unchanged; the next
+// Poll retries it.
+func (r *ShipReader) Poll() (ShipBatch, error) {
+	if !r.started {
+		return r.rebase()
+	}
+	var b ShipBatch
+	shardDirs, err := globFS(r.fs, r.dir, "shard-*")
+	if err != nil {
+		return ShipBatch{}, err
+	}
+	sort.Strings(shardDirs)
+	for _, sd := range shardDirs {
+		t := r.tails[sd]
+		if t == nil {
+			t = &shipTail{shard: shardIndex(sd)}
+			r.tails[sd] = t
+		}
+		recs, lost, err := r.pollTail(sd, t)
+		if err != nil {
+			return ShipBatch{}, err
+		}
+		if lost {
+			// The tailed segment vanished (checkpoint truncation won the
+			// race). Everything already emitted is covered by the new
+			// checkpoint chain; start over from it. Records collected from
+			// other tails this poll are discarded — the rebase resets every
+			// tail, so they are re-read and re-emitted after it.
+			return r.rebase()
+		}
+		b.Recs = append(b.Recs, recs...)
+	}
+	return b, nil
+}
+
+// rebase loads the checkpoint chain read-only and resets every tail.
+func (r *ShipReader) rebase() (ShipBatch, error) {
+	image, baseTs, err := r.loadChain()
+	if err != nil {
+		return ShipBatch{}, err
+	}
+	r.started = true
+	r.baseTs = baseTs
+	r.rebases++
+	r.tails = map[string]*shipTail{}
+	return ShipBatch{Rebase: true, Image: image, BaseTs: baseTs}, nil
+}
+
+// loadChain is loadCheckpoints' read-only twin: newest valid full
+// checkpoint plus every increment whose prevTs chains exactly. Invalid
+// files are skipped, never removed — a live leader writes checkpoints by
+// atomic rename, so an invalid file here is stale crash damage that the
+// leader's own recovery owns; one deleted mid-read (NotExist) is simply a
+// pruned ancestor.
+func (r *ShipReader) loadChain() (map[uint64]uint64, uint64, error) {
+	paths, err := globFS(r.fs, r.dir, "ck-*.ckpt")
+	if err != nil {
+		return nil, 0, err
+	}
+	sort.Strings(paths) // fixed-width hex ts: lexicographic == numeric
+	type loaded struct {
+		ts, prevTs uint64
+		full       bool
+		entries    []ckptEntry
+	}
+	var valid []loaded
+	for _, p := range paths {
+		data, err := r.fs.ReadFile(p)
+		if err != nil {
+			if fault.NotExist(err) {
+				continue
+			}
+			return nil, 0, err
+		}
+		ts, prevTs, full, entries, err := parseCheckpoint(p, data)
+		if err != nil {
+			continue
+		}
+		valid = append(valid, loaded{ts, prevTs, full, entries})
+	}
+	image := make(map[uint64]uint64)
+	lastFull := -1
+	for i, c := range valid {
+		if c.full {
+			lastFull = i
+		}
+	}
+	if lastFull < 0 {
+		return image, 0, nil
+	}
+	cur := uint64(0)
+	for _, c := range valid[lastFull:] {
+		if !c.full && c.prevTs != cur {
+			break
+		}
+		for _, e := range c.entries {
+			if e.tomb {
+				delete(image, e.key)
+			} else {
+				image[e.key] = e.val
+			}
+		}
+		cur = c.ts
+	}
+	return image, cur, nil
+}
+
+// pollTail advances one shard tail as far as it can go right now. lost
+// reports that the tailed segment was deleted under us with records
+// consumed from it — only a checkpoint truncation does that, so the caller
+// must rebase.
+func (r *ShipReader) pollTail(sd string, t *shipTail) (out []ShipRec, lost bool, err error) {
+	for {
+		segs, err := globFS(r.fs, sd, "wal-*.seg")
+		if err != nil {
+			return out, false, err
+		}
+		sort.Strings(segs)
+		if !t.picked {
+			if len(segs) == 0 {
+				return out, false, nil // stream not started yet
+			}
+			idx, ok := segIndex(segs[0])
+			if !ok {
+				return out, false, nil // not a segment name; leader's problem
+			}
+			t.picked, t.segIdx, t.consumed = true, idx, 0
+		}
+		// Snapshot the successor BEFORE reading: if one exists now, the
+		// tailed segment was sealed before the read, so the read sees its
+		// final contents (a pending seal truncation can only shrink it,
+		// which the next poll detects as consumed > len).
+		succ, haveSucc, present := uint64(0), false, false
+		for _, p := range segs {
+			idx, ok := segIndex(p)
+			if !ok {
+				continue
+			}
+			if idx == t.segIdx {
+				present = true
+			}
+			if idx > t.segIdx && (!haveSucc || idx < succ) {
+				succ, haveSucc = idx, true
+			}
+		}
+		advance := func() bool {
+			if !haveSucc {
+				return false
+			}
+			t.segIdx = succ
+			t.consumed = 0
+			return true
+		}
+		missing := !present
+		var data []byte
+		if present {
+			data, err = r.fs.ReadFile(segPath(sd, t.segIdx))
+			if fault.NotExist(err) {
+				missing, err = true, nil
+			} else if err != nil {
+				return out, false, err
+			}
+		}
+		if missing {
+			// The segment vanished. Whether a checkpoint truncated it (its
+			// records live only in the new checkpoint chain now) or a seal
+			// dropped it empty, rebasing from the chain is correct — and
+			// it is the only safe answer for a segment we hadn't finished
+			// reading.
+			return out, true, nil
+		}
+		if t.consumed == 0 {
+			if !validSegHeader(data) {
+				// Header mid-write (or a squatter the leader is about to
+				// evict): a sealed predecessor never looks like this, so if
+				// a successor exists this file is dead weight — skip it.
+				if advance() {
+					continue
+				}
+				return out, false, nil
+			}
+			t.consumed = segHeaderSize
+		}
+		if len(data) < t.consumed {
+			// Seal truncation cut below our position; the cut suffix is
+			// re-appended at the front of the successor (duplicates of what
+			// we already emitted — idempotent; see type comment).
+			if advance() {
+				continue
+			}
+			return out, false, nil
+		}
+		recs, validLen, _ := decodeRecordsAt(data, t.consumed)
+		t.consumed = validLen
+		for _, rec := range recs {
+			if rec.ts < r.baseTs {
+				continue // already inside the base image
+			}
+			out = append(out, ShipRec{Shard: t.shard, Ts: rec.ts, Redo: rec.redo})
+		}
+		// Anything past validLen is a torn tail: on a sealed segment
+		// (successor exists) it is about to be truncated and re-appended to
+		// the successor; on the active segment it is a write in flight —
+		// wait. Either way the valid prefix stands, so advance if sealed.
+		if advance() {
+			continue
+		}
+		return out, false, nil
+	}
+}
+
+// shardIndex parses the shard number out of a shard directory path.
+func shardIndex(dir string) int {
+	name := strings.TrimPrefix(filepath.Base(dir), "shard-")
+	n, err := strconv.Atoi(name)
+	if err != nil {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,284 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ds"
+	"repro/internal/stm"
+	"repro/internal/workload"
+)
+
+// shipModel folds ShipBatches into a model map exactly the way a follower
+// must: a rebase replaces everything, records apply their redo ops in order.
+type shipModel struct {
+	state map[uint64]uint64
+	maxTs uint64
+}
+
+func newShipModel() *shipModel { return &shipModel{state: map[uint64]uint64{}} }
+
+func (sm *shipModel) apply(b ShipBatch) {
+	if b.Rebase {
+		sm.state = b.Image
+		if b.BaseTs > sm.maxTs {
+			sm.maxTs = b.BaseTs
+		}
+		return
+	}
+	for _, rec := range b.Recs {
+		for _, op := range rec.Redo {
+			if op.Op == stm.RedoDelete {
+				delete(sm.state, op.Key)
+			} else {
+				sm.state[op.Key] = op.Val
+			}
+		}
+		if rec.Ts > sm.maxTs {
+			sm.maxTs = rec.Ts
+		}
+	}
+}
+
+func (sm *shipModel) pairs() []ds.KV {
+	return modelPairs(sm.state)
+}
+
+// drain polls until two consecutive empty batches, applying everything.
+func (sm *shipModel) drain(t *testing.T, r *ShipReader) {
+	t.Helper()
+	empty := 0
+	for empty < 2 {
+		b, err := r.Poll()
+		if err != nil {
+			t.Fatalf("Poll: %v", err)
+		}
+		if !b.Rebase && len(b.Recs) == 0 {
+			empty++
+			continue
+		}
+		empty = 0
+		sm.apply(b)
+	}
+}
+
+// TestShipReaderTailsLiveLog: a tailer following a writing leader across
+// rotations converges on exactly the leader's synced state.
+func TestShipReaderTailsLiveLog(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(map[int]string{1: "shards=1", 4: "shards=4"}[shards], func(t *testing.T) {
+			dir := t.TempDir()
+			m, l := mustOpen(t, testOpts(dir, "multiverse", shards, func(o *Options) {
+				o.SegmentBytes = 1 << 12 // force rotations under the tail
+			}))
+			defer l.Close()
+
+			r := OpenShipReader(dir, nil)
+			sm := newShipModel()
+
+			th := l.System().Register()
+			rng := workload.NewRng(11)
+			for i := 0; i < 2000; i++ {
+				k := rng.Next()%512 + 1
+				if rng.Next()%4 == 0 {
+					ds.Delete(th, m, k)
+				} else {
+					ds.Insert(th, m, k, k*3)
+				}
+				if i%100 == 0 {
+					// Interleave tailing with writing: batches must apply
+					// cleanly mid-stream, not only after quiesce.
+					b, err := r.Poll()
+					if err != nil {
+						t.Fatalf("Poll mid-write: %v", err)
+					}
+					sm.apply(b)
+				}
+			}
+			th.Unregister()
+			if err := l.Sync(); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+			sm.drain(t, r)
+			want := exportSorted(t, l, m)
+			if got := sm.pairs(); !pairsEqual(got, want) {
+				t.Fatalf("tailer diverged: got %d pairs, leader has %d", len(got), len(want))
+			}
+			if sm.maxTs == 0 {
+				t.Fatal("tailer never observed a timestamp")
+			}
+		})
+	}
+}
+
+// TestShipReaderCheckpointTruncationRace: ship while Checkpoint() deletes
+// segments out from under the reader. The follower must land on the
+// checkpoint chain plus the live suffix — never a gap — even when the rebase
+// path fires repeatedly mid-stream.
+func TestShipReaderCheckpointTruncationRace(t *testing.T) {
+	for _, backend := range walBackends {
+		t.Run(backend, func(t *testing.T) {
+			dir := t.TempDir()
+			m, l := mustOpen(t, testOpts(dir, backend, 2, func(o *Options) {
+				o.SegmentBytes = 1 << 11 // tiny: many segments, cheap truncations
+			}))
+			defer l.Close()
+
+			r := OpenShipReader(dir, nil)
+			sm := newShipModel()
+
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			wg.Add(1)
+			go func() { // writer: sustained churn over a small key space
+				defer wg.Done()
+				th := l.System().Register()
+				defer th.Unregister()
+				rng := workload.NewRng(23)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					k := rng.Next()%256 + 1
+					if rng.Next()%3 == 0 {
+						ds.Delete(th, m, k)
+					} else {
+						ds.Insert(th, m, k, rng.Next())
+					}
+				}
+			}()
+			wg.Add(1)
+			ckpts := 0
+			go func() { // checkpointer: delete segments under the tail
+				defer wg.Done()
+				for i := 0; i < 8; i++ {
+					select {
+					case <-stop:
+						return
+					case <-time.After(5 * time.Millisecond):
+					}
+					if _, err := l.Checkpoint(); err == nil {
+						ckpts++
+					}
+				}
+			}()
+
+			deadline := time.Now().Add(2 * time.Second)
+			for time.Now().Before(deadline) {
+				b, err := r.Poll()
+				if err != nil {
+					t.Fatalf("Poll during churn: %v", err)
+				}
+				sm.apply(b)
+			}
+			close(stop)
+			wg.Wait()
+
+			if err := l.Sync(); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+			sm.drain(t, r)
+			want := exportSorted(t, l, m)
+			if got := sm.pairs(); !pairsEqual(got, want) {
+				t.Fatalf("follower diverged after checkpoint race: got %d pairs, leader has %d (rebases=%d ckpts=%d)",
+					len(got), len(want), r.Rebases(), ckpts)
+			}
+			if ckpts == 0 {
+				t.Fatal("no checkpoint succeeded: the truncation race was never exercised")
+			}
+			if sm.maxTs == 0 {
+				t.Fatal("tailer never observed a timestamp")
+			}
+
+			// Force the rebase path: without polling, churn enough to rotate
+			// past the tailed segment, then checkpoint so truncation deletes
+			// it. The next poll finds its segment gone and must rebase onto
+			// the checkpoint chain — landing on chain + suffix, never a gap.
+			before := r.Rebases()
+			for attempt := 0; attempt < 10 && r.Rebases() == before; attempt++ {
+				th := l.System().Register()
+				rng := workload.NewRng(uint64(97 + attempt))
+				for i := 0; i < 1500; i++ {
+					// Delete+insert: both sides commit a record even when the
+					// key already exists, so the churn genuinely rotates
+					// segments past the idle tail.
+					k := rng.Next()%256 + 1
+					ds.Delete(th, m, k)
+					ds.Insert(th, m, k, rng.Next())
+				}
+				th.Unregister()
+				if err := l.Sync(); err != nil {
+					t.Fatalf("Sync: %v", err)
+				}
+				if _, err := l.Checkpoint(); err != nil {
+					t.Fatalf("Checkpoint: %v", err)
+				}
+				sm.drain(t, r)
+			}
+			if r.Rebases() == before {
+				t.Fatalf("checkpoint truncation never outran the tail (rebases=%d)", before)
+			}
+			want = exportSorted(t, l, m)
+			if got := sm.pairs(); !pairsEqual(got, want) {
+				t.Fatalf("follower diverged after forced rebase: got %d pairs, leader has %d (baseTs=%d)",
+					len(got), len(want), r.BaseTs())
+			}
+			if r.BaseTs() == 0 {
+				t.Fatal("rebase landed on an empty chain despite successful checkpoints")
+			}
+		})
+	}
+}
+
+// TestShipReaderIsReadOnly: unlike recovery, the tailer must never repair
+// the leader's directory — an invalid checkpoint file is skipped, not
+// deleted, and a torn segment tail is left exactly as found.
+func TestShipReaderIsReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	m, l := mustOpen(t, testOpts(dir, "multiverse", 1, nil))
+	insertRange(t, l, m, 1, 100)
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+
+	// Plant an invalid checkpoint (stale crash damage, in the leader's
+	// eyes) and tear the active segment's tail.
+	badCkpt := filepath.Join(dir, "ck-00000000000000ff.ckpt")
+	if err := os.WriteFile(badCkpt, []byte("garbage"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "shard-000", "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	seg := segs[len(segs)-1]
+	pre, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte{}, pre...), 0xde, 0xad)
+	if err := os.WriteFile(seg, torn, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	r := OpenShipReader(dir, nil)
+	sm := newShipModel()
+	sm.drain(t, r)
+	want := exportSorted(t, l, m)
+	if got := sm.pairs(); !pairsEqual(got, want) {
+		t.Fatalf("tailer state wrong over damaged dir: got %d pairs, want %d", len(got), len(want))
+	}
+	if _, err := os.Stat(badCkpt); err != nil {
+		t.Fatalf("tailer touched the invalid checkpoint: %v", err)
+	}
+	post, err := os.ReadFile(seg)
+	if err != nil || len(post) != len(torn) {
+		t.Fatalf("tailer modified the torn segment: len %d want %d (%v)", len(post), len(torn), err)
+	}
+	l.Close()
+}

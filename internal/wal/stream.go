@@ -51,7 +51,7 @@ type stream struct {
 	bufRecs      int
 	unsynced     []byte // written to the active segment, not yet fsync-covered
 	unsyncedRecs int
-	unsyncedSegs []string // SyncNone: segments sealed without fsync; a Sync barrier covers them by path
+	unsyncedSegs []unsyncedSeg // SyncNone: segments sealed without fsync; a Sync barrier covers them by path
 
 	f           fault.File
 	seg         segInfo   // active segment
@@ -60,6 +60,7 @@ type stream struct {
 	segBytes    int       // bytes written to the active segment (incl. any torn tail)
 	syncedBytes int       // prefix of the active segment covered by the last successful fsync
 	needSeal    bool      // active segment is poisoned (failed fsync) or torn (partial write)
+	dirDirty    bool      // SyncNone: a segment was created without a directory fsync
 
 	err        error // latest I/O error; cleared when the stream heals
 	fails      int   // consecutive failed flush attempts
@@ -70,6 +71,13 @@ type stream struct {
 	closed     bool
 
 	retainedG atomic.Uint64 // gauge: records retained past a failed flush
+}
+
+// unsyncedSeg is one sealed-without-fsync segment (SyncNone rotations) and
+// how many records it carries — the stream's fsync debt, itemized.
+type unsyncedSeg struct {
+	path string
+	recs int
 }
 
 func segPath(dir string, index uint64) string {
@@ -87,8 +95,12 @@ func (s *stream) openSegmentLocked() error {
 			// increment from there), and *skipping* it would be silent
 			// loss: recovery reads the squatter as a torn middle of the
 			// stream and drops every later segment. Evict it; the retry
-			// reopens this index.
-			s.l.fs.Remove(path)
+			// reopens this index. A failed eviction (EACCES, immutable
+			// file) blocks this index forever — name it, or Log.Err only
+			// ever shows the generic O_EXCL collision.
+			if rerr := s.l.fs.Remove(path); rerr != nil && !fault.NotExist(rerr) {
+				return fmt.Errorf("cannot evict squatter segment %s: %w (open: %v)", path, rerr, err)
+			}
 		}
 		return err
 	}
@@ -105,6 +117,11 @@ func (s *stream) openSegmentLocked() error {
 			f.Close()
 			return err
 		}
+	} else {
+		// Deferred, not skipped: the Sync barrier must fsync the directory
+		// before it returns nil, or it vouches for segments whose directory
+		// entries could vanish on power loss.
+		s.dirDirty = true
 	}
 	// Retained records re-appended here carry timestamps from the sealed
 	// predecessor; inherit its maxTs so truncateBelow can never reap this
@@ -237,7 +254,7 @@ func (s *stream) flushLocked(sync bool) error {
 // be acked. Caller holds s.mu.
 func (s *stream) fsyncLocked() error {
 	for len(s.unsyncedSegs) > 0 {
-		if err := fsyncPath(s.l.fs, s.unsyncedSegs[0]); err != nil {
+		if err := fsyncPath(s.l.fs, s.unsyncedSegs[0].path); err != nil {
 			if fault.NotExist(err) {
 				// Truncated away by a checkpoint; durable there instead.
 				s.unsyncedSegs = s.unsyncedSegs[1:]
@@ -247,6 +264,16 @@ func (s *stream) fsyncLocked() error {
 		}
 		s.l.fsyncs.Add(1)
 		s.unsyncedSegs = s.unsyncedSegs[1:]
+	}
+	if s.dirDirty {
+		// SyncNone created segments without a directory fsync; cover their
+		// entries before this barrier can vouch for them. A failure here
+		// does not poison the segment fd — no needSeal.
+		if err := syncDir(s.l.fs, s.dir); err != nil {
+			return err
+		}
+		s.l.fsyncs.Add(1)
+		s.dirDirty = false
 	}
 	if len(s.unsynced) == 0 && s.syncedBytes == s.segBytes {
 		return nil // nothing new since the last successful fsync
@@ -303,7 +330,7 @@ func (s *stream) rotateLocked(alreadySynced bool) error {
 	switch {
 	case s.l.opts.Policy == SyncNone:
 		if len(s.unsynced) > 0 {
-			s.unsyncedSegs = append(s.unsyncedSegs, s.seg.path)
+			s.unsyncedSegs = append(s.unsyncedSegs, unsyncedSeg{path: s.seg.path, recs: s.unsyncedRecs})
 			s.unsynced = s.unsynced[:0]
 			s.unsyncedRecs = 0
 		}
@@ -403,8 +430,8 @@ func (s *stream) truncateBelow(ts uint64) int {
 // dropUnsyncedSegLocked forgets a removed segment from the SyncNone
 // fsync-debt list. Caller holds s.mu.
 func (s *stream) dropUnsyncedSegLocked(path string) {
-	for i, p := range s.unsyncedSegs {
-		if p == path {
+	for i, u := range s.unsyncedSegs {
+		if u.path == path {
 			s.unsyncedSegs = append(s.unsyncedSegs[:i], s.unsyncedSegs[i+1:]...)
 			return
 		}
@@ -421,6 +448,21 @@ func (s *stream) close(severed bool) error {
 	var err error
 	if !severed {
 		err = s.flushLocked(s.l.opts.Policy != SyncNone)
+		// Under SyncNone a nil flush still leaves fsync debt: bytes written
+		// but never covered by fsync, and segments sealed without one. The
+		// nil return stays (SyncNone callers opted out of durability), but
+		// the debt is counted so a "clean" Close can never be mistaken for
+		// "durable".
+		debt := s.bufRecs + s.unsyncedRecs
+		for _, u := range s.unsyncedSegs {
+			debt += u.recs
+		}
+		if debt > 0 {
+			s.l.closeDebtRecs.Add(uint64(debt))
+		}
+		if n := len(s.unsyncedSegs); n > 0 {
+			s.l.closeDebtSegs.Add(uint64(n))
+		}
 	}
 	s.closed = true
 	if s.f != nil {

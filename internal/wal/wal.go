@@ -367,6 +367,8 @@ type Stats struct {
 	DegradedTime  time.Duration // total time spent degraded (completed episodes)
 	PoisonedSegs  uint64        // segments sealed after a failed fsync
 	RejectedOps   uint64        // wal.Map mutations aborted by DegradeReject
+	CloseDebtRecs uint64        // records a nil Close left without fsync coverage (SyncNone)
+	CloseDebtSegs uint64        // sealed segments a nil Close left without fsync coverage (SyncNone)
 }
 
 // Log owns a sharded TM system, its per-shard log streams, and the
@@ -409,6 +411,8 @@ type Log struct {
 	degradations   atomic.Uint64
 	poisonedSegs   atomic.Uint64
 	rejectedOps    atomic.Uint64
+	closeDebtRecs  atomic.Uint64
+	closeDebtSegs  atomic.Uint64
 	degradedNanos  atomic.Int64
 	recoveredPairs int
 	recoveredTs    uint64
@@ -695,6 +699,8 @@ func (l *Log) Stats() Stats {
 		DegradedTime:  time.Duration(l.degradedNanos.Load()),
 		PoisonedSegs:  l.poisonedSegs.Load(),
 		RejectedOps:   l.rejectedOps.Load(),
+		CloseDebtRecs: l.closeDebtRecs.Load(),
+		CloseDebtSegs: l.closeDebtSegs.Load(),
 
 		Records:        l.records.Load(),
 		BytesAppended:  l.bytesAppended.Load(),
