@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/mvstm"
+	"repro/internal/obs"
 	"repro/internal/stm"
 	"repro/internal/workload"
 )
@@ -294,6 +295,64 @@ func BenchmarkVersionedWrite(b *testing.B) {
 				tx.Write(&words[j], uint64(i+j))
 			}
 		})
+	}
+}
+
+// BenchmarkObsOverhead prices the observability plane on the versioned
+// write hot path: the same 8-word Mode U transaction as
+// BenchmarkVersionedWrite, with a flight recorder attached and per-reason
+// abort counters live. Run with -benchmem: the instrumented path must stay
+// 0 allocs/op (the recorder's ring slots are preallocated atomics, the
+// reason counters are fixed arrays), and within a few percent of the
+// uninstrumented baseline above.
+func BenchmarkObsOverhead(b *testing.B) {
+	sys := mvstm.NewPinned(mvstm.Config{
+		LockTableSize: 1 << 12, DisableBG: true,
+		Obs: obs.NewRecorder(obs.DefaultRingSize),
+	}, mvstm.ModeU)
+	defer sys.Close()
+	th := sys.RegisterMV()
+	defer th.Unregister()
+	var words [8]stm.Word
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Atomic(func(tx stm.Txn) {
+			for j := range words {
+				tx.Write(&words[j], uint64(i+j))
+			}
+		})
+	}
+}
+
+// TestObsOverheadAllocFree pins the benchmark's claim as a test: the
+// instrumented hot path performs zero allocations per transaction.
+func TestObsOverheadAllocFree(t *testing.T) {
+	sys := mvstm.NewPinned(mvstm.Config{
+		LockTableSize: 1 << 12, DisableBG: true,
+		Obs: obs.NewRecorder(obs.DefaultRingSize),
+	}, mvstm.ModeU)
+	defer sys.Close()
+	th := sys.RegisterMV()
+	defer th.Unregister()
+	var words [8]stm.Word
+	// Warm the version pools before measuring.
+	for i := 0; i < 64; i++ {
+		th.Atomic(func(tx stm.Txn) {
+			for j := range words {
+				tx.Write(&words[j], uint64(i+j))
+			}
+		})
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		th.Atomic(func(tx stm.Txn) {
+			for j := range words {
+				tx.Write(&words[j], 1)
+			}
+		})
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented versioned write allocates %.1f allocs/op, want 0", allocs)
 	}
 }
 

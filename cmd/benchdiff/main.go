@@ -1,0 +1,105 @@
+// Command benchdiff guards the bench JSON schema: it compares the field set
+// of a fresh `multibench -json` run against a committed baseline and fails
+// when a field the baseline promises has disappeared.
+//
+//	multibench -exp fig1 -dur 50ms -trials 1 -json new.jsonl
+//	benchdiff -seed BENCH_seed.json -new new.jsonl
+//
+// Dashboards and CI artifact consumers key on field names; a renamed or
+// dropped field silently zeroes their plots. benchdiff turns that into a
+// red build instead. Extra fields in the new run are reported but allowed —
+// adding telemetry is forward-compatible, removing it is not. Numeric
+// values are deliberately not compared: quick-scale throughput numbers are
+// noise, the schema is the contract.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() {
+	seedPath := flag.String("seed", "BENCH_seed.json", "baseline JSONL from a committed multibench -json run")
+	newPath := flag.String("new", "", "fresh multibench -json output to check (required)")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+
+	seed, err := fieldSet(*seedPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: seed: %v\n", err)
+		os.Exit(2)
+	}
+	got, err := fieldSet(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: new: %v\n", err)
+		os.Exit(2)
+	}
+	if len(seed) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: seed %s has no records\n", *seedPath)
+		os.Exit(2)
+	}
+	if len(got) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: new run %s has no records\n", *newPath)
+		os.Exit(1)
+	}
+
+	var missing, added []string
+	for f := range seed {
+		if !got[f] {
+			missing = append(missing, f)
+		}
+	}
+	for f := range got {
+		if !seed[f] {
+			added = append(added, f)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(added)
+	for _, f := range added {
+		fmt.Printf("benchdiff: new field %q (not in baseline — fine; commit a refreshed seed to promise it)\n", f)
+	}
+	if len(missing) > 0 {
+		for _, f := range missing {
+			fmt.Printf("benchdiff: MISSING field %q promised by %s\n", f, *seedPath)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: ok — %d baseline fields all present\n", len(seed))
+}
+
+// fieldSet returns the union of JSON field names over every record in a
+// JSONL file. Union, not intersection: multibench emits one record shape,
+// and a torn final line should fail loudly rather than shrink the set.
+func fieldSet(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fields := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec map[string]json.RawMessage
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		for k := range rec {
+			fields[k] = true
+		}
+	}
+	return fields, sc.Err()
+}

@@ -12,17 +12,28 @@
 //	stmserve listening on <addr>
 //
 // on stdout marks readiness (the smoke test and torture harness parse it).
+//
+// # Observability
+//
+// -obs <addr> serves the process metrics registry over HTTP: /debug/obs is
+// the JSON snapshot (the same bytes the wire OpStats op returns),
+// /debug/obs/events dumps the flight-recorder ring, /debug/pprof/* is the
+// standard profiler surface. -stats-every emits a periodic one-line stats
+// summary on stdout. SIGQUIT dumps the flight recorder to stderr and keeps
+// serving — the kill -QUIT idiom for a wedged-looking process.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/wal"
@@ -39,6 +50,9 @@ func main() {
 	ack := flag.String("ack", "sync", "update ack policy: sync (after covering fsync) or commit")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-drain bound on shutdown")
 	ship := flag.String("ship", "", "log-shipping listen address for follower replicas (empty = no shipping)")
+	obsAddr := flag.String("obs", "", "HTTP observability listen address: /debug/obs JSON, /debug/obs/events, /debug/pprof (empty = off)")
+	statsEvery := flag.Duration("stats-every", 0, "emit a periodic stats log line at this interval (0 = off)")
+	ringSize := flag.Int("obs-ring", obs.DefaultRingSize, "flight-recorder ring capacity (events)")
 	flag.Parse()
 
 	if *dir == "" {
@@ -56,8 +70,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(*ringSize)
 	m, l, err := wal.OpenWith(wal.Options{
 		Dir: *dir, Backend: *tm, Shards: *shards, DS: *dsName, Policy: pol,
+		Obs: reg, Rec: rec,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stmserve: open log: %v\n", err)
@@ -70,7 +87,9 @@ func main() {
 		l.Close()
 		os.Exit(1)
 	}
-	srv := server.New(l.System(), m, l, server.Options{Workers: *workers, Ack: ackPol})
+	srv := server.New(l.System(), m, l, server.Options{
+		Workers: *workers, Ack: ackPol, Obs: reg, Rec: rec,
+	})
 	srv.Start(ln)
 	var shipSvc *replica.ShipService
 	if *ship != "" {
@@ -84,14 +103,57 @@ func main() {
 		shipSvc = replica.ServeShipping(shipLn, *dir, replica.ShipperOptions{})
 		fmt.Printf("stmserve shipping on %s\n", shipSvc.Addr())
 	}
+	if *obsAddr != "" {
+		obsLn, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stmserve: obs listen: %v\n", err)
+			srv.Shutdown(*drain)
+			l.Close()
+			os.Exit(1)
+		}
+		go http.Serve(obsLn, obs.Handler(reg, rec))
+		fmt.Printf("stmserve obs on %s\n", obsLn.Addr())
+	}
 	fmt.Printf("stmserve listening on %s\n", srv.Addr())
 	fmt.Printf("stmserve tm=%s ds=%s shards=%d policy=%s ack=%s workers=%d dir=%s\n",
 		*tm, *dsName, *shards, pol, ackPol, *workers, *dir)
+
+	stopStats := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			var prev server.Stats
+			for {
+				select {
+				case <-stopStats:
+					return
+				case <-tick.C:
+					st := srv.Stats()
+					ws := l.Stats()
+					fmt.Printf("stmserve stats: reqs=%d (+%d) updates=%d acks=%d/%d wal=%s records=%d fsyncs=%d retained=%d\n",
+						st.Requests, st.Requests-prev.Requests, st.Updates,
+						st.SyncedAcks, st.SyncedAcks+st.FailedAcks,
+						l.Health(), ws.Records, ws.Fsyncs, ws.Retained)
+					prev = st
+				}
+			}
+		}()
+	}
+
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			rec.Dump(os.Stderr)
+		}
+	}()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	<-sigc
 	fmt.Println("stmserve: draining")
+	close(stopStats)
 	code := 0
 	if shipSvc != nil {
 		shipSvc.Close()

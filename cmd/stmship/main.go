@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/server"
 )
@@ -41,6 +42,7 @@ func main() {
 	dsName := flag.String("ds", "hashmap", "data structure (hashmap, abtree, avl, extbst)")
 	workers := flag.Int("workers", 2, "read-server execution pool size")
 	promote := flag.Bool("promote-on-exit", false, "promote the replica to a leader log on shutdown")
+	statsEvery := flag.Duration("stats-every", 0, "emit a periodic applied-ts/lag log line at this interval (0 = off)")
 	flag.Parse()
 
 	if *dir == "" {
@@ -87,8 +89,11 @@ func main() {
 		close(shipDone)
 	}
 
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(obs.DefaultRingSize)
 	r, err := replica.Open(replica.Options{
 		Dir: *dir, Backend: *tm, Shards: *shards, DS: *dsName,
+		Obs: reg, Rec: rec,
 	})
 	if err != nil {
 		close(stopShip)
@@ -109,6 +114,7 @@ func main() {
 		// and ReadOnly refuses updates on the wire before execution.
 		srv = server.New(r.System(), r.Map(), nil, server.Options{
 			Workers: *workers, Ack: server.AckCommit, ReadOnly: true,
+			Obs: reg, Rec: rec,
 		})
 		srv.Start(ln)
 		fmt.Printf("stmship listening on %s\n", srv.Addr())
@@ -116,10 +122,30 @@ func main() {
 	fmt.Printf("stmship following on %s\n", *dir)
 	fmt.Printf("stmship tm=%s ds=%s shards=%d leader=%q\n", *tm, *dsName, *shards, *leader)
 
+	stopStats := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopStats:
+					return
+				case <-tick.C:
+					st := r.Stats()
+					fmt.Printf("stmship stats: applied_ts=%d recs=%d rebases=%d lag=%s health=%s\n",
+						st.AppliedTs, st.AppliedRecs, st.Rebases,
+						time.Duration(r.LagNs()), r.Health())
+				}
+			}
+		}()
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	<-sigc
 	fmt.Println("stmship: stopping")
+	close(stopStats)
 	code := 0
 	if srv != nil {
 		if err := srv.Shutdown(5 * time.Second); err != nil {

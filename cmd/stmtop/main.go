@@ -1,0 +1,184 @@
+// Command stmtop is a live terminal dashboard over a running stmserve (or a
+// saved snapshot file): per-shard commit throughput, abort-reason breakdown,
+// WAL health and fsync activity, per-op latency quantiles, and replica lag
+// when the target is a follower.
+//
+//	stmtop -addr 127.0.0.1:7707            # poll a live server over OpStats
+//	stmtop -file snapshot.json -once       # render one saved snapshot
+//
+// In live mode the screen redraws every -every interval; rates (commits/s,
+// fsyncs/s) are deltas between consecutive snapshots. -once renders a single
+// frame without clearing the screen — the mode CI smoke tests parse.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server/client"
+)
+
+func main() {
+	addr := flag.String("addr", "", "stmserve address to poll over the wire OpStats op")
+	file := flag.String("file", "", "render a saved snapshot JSON file instead of polling")
+	every := flag.Duration("every", time.Second, "poll/redraw interval in live mode")
+	once := flag.Bool("once", false, "render one frame and exit (no screen clearing)")
+	flag.Parse()
+
+	if (*addr == "") == (*file == "") {
+		fmt.Fprintln(os.Stderr, "stmtop: exactly one of -addr or -file is required")
+		os.Exit(2)
+	}
+
+	fetch, err := newFetcher(*addr, *file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stmtop: %v\n", err)
+		os.Exit(1)
+	}
+
+	cur, err := fetch()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stmtop: %v\n", err)
+		os.Exit(1)
+	}
+	if *once || *file != "" {
+		render(cur, obs.Snapshot{}, 0)
+		return
+	}
+	prev, prevAt := cur, time.Now()
+	for {
+		time.Sleep(*every)
+		cur, err = fetch()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stmtop: %v\n", err)
+			os.Exit(1)
+		}
+		now := time.Now()
+		fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		render(cur, prev, now.Sub(prevAt))
+		prev, prevAt = cur, now
+	}
+}
+
+func newFetcher(addr, file string) (func() (obs.Snapshot, error), error) {
+	if file != "" {
+		return func() (obs.Snapshot, error) {
+			var snap obs.Snapshot
+			b, err := os.ReadFile(file)
+			if err != nil {
+				return snap, err
+			}
+			return snap, json.Unmarshal(b, &snap)
+		}, nil
+	}
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return cl.Stats, nil
+}
+
+// rate formats a counter delta as a per-second rate; with no previous
+// snapshot (first frame, -once, -file) it shows the absolute total instead.
+func rate(cur, prev obs.Snapshot, name string, dt time.Duration) string {
+	if dt <= 0 {
+		return fmt.Sprintf("%d total", cur.Counters[name])
+	}
+	d := cur.Counters[name] - prev.Counters[name]
+	return fmt.Sprintf("%.0f/s", float64(d)/dt.Seconds())
+}
+
+func render(cur, prev obs.Snapshot, dt time.Duration) {
+	fmt.Printf("stmtop — snapshot v%d — %s\n\n", cur.Version, time.Now().Format(time.TimeOnly))
+
+	if h, ok := cur.Text["wal.health"]; ok {
+		fmt.Printf("WAL     health=%s  records=%s  fsyncs=%s  retained=%d  degradations=%d\n",
+			h, rate(cur, prev, "wal.records", dt), rate(cur, prev, "wal.fsyncs", dt),
+			cur.Counters["wal.retained"], cur.Counters["wal.degradations"])
+	}
+	if _, ok := cur.Counters["server.requests"]; ok {
+		acked := cur.Counters["server.synced_acks"]
+		rounds := cur.Counters["server.sync_rounds"]
+		perFsync := 0.0
+		if rounds > 0 {
+			perFsync = float64(acked) / float64(rounds)
+		}
+		fmt.Printf("server  requests=%s  updates=%s  acks/fsync=%.1f  failed_acks=%d\n",
+			rate(cur, prev, "server.requests", dt), rate(cur, prev, "server.updates", dt),
+			perFsync, cur.Counters["server.failed_acks"])
+	}
+	if h, ok := cur.Text["replica.health"]; ok {
+		fmt.Printf("replica health=%s  applied_ts=%d  applied=%s  rebases=%d  lag=%s\n",
+			h, cur.Counters["replica.applied_ts"], rate(cur, prev, "replica.applied_recs", dt),
+			cur.Counters["replica.rebases"], time.Duration(cur.Counters["replica.lag_ns"]))
+	}
+
+	fmt.Printf("\n%-8s %12s %12s %10s %10s\n", "shard", "commits", "aborts", "starved", "switches")
+	for _, sh := range shardIDs(cur) {
+		p := "shard." + strconv.Itoa(sh) + "."
+		fmt.Printf("%-8d %12s %12s %10d %10d\n", sh,
+			rate(cur, prev, p+"commits", dt), rate(cur, prev, p+"aborts", dt),
+			cur.Counters[p+"starved"], cur.Counters[p+"mode_switches"])
+	}
+
+	var reasons []string
+	for name := range cur.Counters {
+		if strings.HasPrefix(name, "aborts.reason.") && cur.Counters[name] > 0 {
+			reasons = append(reasons, name)
+		}
+	}
+	if len(reasons) > 0 {
+		sort.Strings(reasons)
+		fmt.Println("\naborts by reason:")
+		for _, name := range reasons {
+			fmt.Printf("  %-14s %d\n", strings.TrimPrefix(name, "aborts.reason."), cur.Counters[name])
+		}
+	}
+
+	var ops []string
+	for name, h := range cur.Hists {
+		if strings.HasPrefix(name, "server.lat.") && h.Count > 0 {
+			ops = append(ops, name)
+		}
+	}
+	if len(ops) > 0 {
+		sort.Strings(ops)
+		fmt.Printf("\n%-10s %10s %10s %10s %10s\n", "op", "count", "p50", "p99", "max")
+		for _, name := range ops {
+			h := cur.Hists[name]
+			fmt.Printf("%-10s %10d %10s %10s %10s\n", strings.TrimPrefix(name, "server.lat."),
+				h.Count, time.Duration(h.P50), time.Duration(h.P99), time.Duration(h.Max))
+		}
+	}
+}
+
+// shardIDs extracts the shard indices present in the snapshot, in order.
+func shardIDs(snap obs.Snapshot) []int {
+	seen := map[int]bool{}
+	for name := range snap.Counters {
+		rest, ok := strings.CutPrefix(name, "shard.")
+		if !ok {
+			continue
+		}
+		idx, _, ok := strings.Cut(rest, ".")
+		if !ok {
+			continue
+		}
+		if n, err := strconv.Atoi(idx); err == nil {
+			seen[n] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}

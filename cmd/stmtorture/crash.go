@@ -107,6 +107,7 @@ func crashRound(c crashConfig, mode string, shards int, policy wal.SyncPolicy, d
 		Capacity: 1 << 12, LockTable: 1 << 14,
 		SegmentBytes: 1 << 18, Policy: policy,
 		GroupInterval: 300 * time.Microsecond,
+		Rec:           torRec,
 	}
 	m, l, err := wal.OpenWith(opts)
 	if err != nil {

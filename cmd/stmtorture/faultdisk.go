@@ -123,9 +123,10 @@ func faultdiskRound(c faultdiskConfig, site faultSite, mode string, dmode wal.De
 		Capacity: 1 << 12, LockTable: 1 << 14,
 		SegmentBytes: 1 << 14, Policy: policy,
 		GroupInterval: 200 * time.Microsecond,
-		FS:           inj, DegradedMode: dmode,
+		FS:            inj, DegradedMode: dmode,
 		RetryLimit: 2, RetryBackoffMax: 2 * time.Millisecond,
 		StallTimeout: 25 * time.Millisecond,
+		Rec:          torRec,
 	}
 	m, l, err := wal.OpenWith(opts)
 	if err != nil {

@@ -92,10 +92,17 @@ import (
 	"repro/internal/ds"
 	"repro/internal/ds/abtree"
 	"repro/internal/histcheck"
+	"repro/internal/obs"
 	"repro/internal/stm"
 	"repro/internal/tpcc"
 	"repro/internal/workload"
 )
+
+// torRec is the torture-wide flight recorder: the WAL-backed workloads
+// thread it through their logs, and a failed run dumps the ring — the last
+// few thousand abort/degrade/heal/checkpoint events leading up to the
+// violation are usually the difference between a reproducer and a shrug.
+var torRec = obs.NewRecorder(obs.DefaultRingSize)
 
 type report struct {
 	ops        atomic.Uint64
@@ -135,6 +142,7 @@ func main() {
 	checker := flag.String("checker", "partitioned", "hist: partitioned, monolithic, or both (compare verdicts)")
 	corpus := flag.String("corpus", "testdata/seeds", "hist: write failing configurations here for stmtest replay (empty = off)")
 	minModeSw := flag.Uint64("min-mode-switches", 0, "hist: fail unless the TM performed at least this many mode transitions across all rounds (soak guard: a Mode U ↔ Q storm that silently stops transitioning must fail the job)")
+	forceViolation := flag.Bool("force-violation", false, "inject one synthetic violation after the run (exercises the failure path: flight-recorder dump, exit 1)")
 	flag.Parse()
 
 	switch *checker {
@@ -233,8 +241,17 @@ func main() {
 	for _, name := range skipped {
 		fmt.Printf("%-8s skipped: run with -workload %s\n", name, name)
 	}
+	if *forceViolation {
+		fmt.Println("forced violation (-force-violation): exercising the failure path")
+		torRec.Record(obs.EvViolation, 1, 0, 0)
+		ok = false
+	}
 	if !ok {
+		if !*forceViolation {
+			torRec.Record(obs.EvViolation, 0, 0, 0)
+		}
 		fmt.Println("TORTURE FAILED: violations detected")
+		torRec.Dump(os.Stderr)
 		os.Exit(1)
 	}
 	fmt.Println("torture passed")

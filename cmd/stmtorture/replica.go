@@ -177,6 +177,7 @@ func replicaRound(c replicaConfig, site faultSite, mode string, shards int, dsNa
 		Capacity: 1 << 12, LockTable: 1 << 14,
 		SegmentBytes: 1 << 13, Policy: wal.SyncGroup,
 		GroupInterval: 200 * time.Microsecond,
+		Rec:           torRec,
 	})
 	if err != nil {
 		fmt.Printf("  replica round %d: open leader: %v\n", round, err)

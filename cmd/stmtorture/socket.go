@@ -107,6 +107,7 @@ func socketRound(c socketConfig, site faultSite, policy wal.SyncPolicy,
 		Capacity: 1 << 12, LockTable: 1 << 14,
 		SegmentBytes: 1 << 18, Policy: policy,
 		GroupInterval: 200 * time.Microsecond,
+		Rec:           torRec,
 	}
 	m, l, err := wal.OpenWith(opts)
 	if err != nil {

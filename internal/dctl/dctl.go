@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/ebr"
 	"repro/internal/gclock"
+	"repro/internal/obs"
 	"repro/internal/stm"
 	"repro/internal/vlock"
 )
@@ -34,6 +35,11 @@ type Config struct {
 	// (after read-set validation, before the write locks release at the
 	// commit clock). See stm.CommitObserver.
 	OnCommit stm.CommitObserver
+	// Obs, when non-nil, receives abort events with reasons in the flight
+	// recorder; per-reason counters in stm.Counters are kept regardless.
+	Obs *obs.Recorder
+	// ObsID tags this instance's events (shard index under internal/shard).
+	ObsID int
 }
 
 func (c *Config) fill() {
@@ -112,6 +118,7 @@ type txn struct {
 	rClock      uint64
 	readOnly    bool
 	irrevocable bool
+	reason      obs.AbortReason
 	reads       []*vlock.Lock
 	undo        []undoEntry
 	locked      []*vlock.Lock
@@ -160,6 +167,8 @@ func (t *thread) SnapshotAt(ts uint64, fn func(stm.Txn)) bool {
 		}
 		tx.rollback()
 		t.ctr.Aborts.Add(1)
+		t.ctr.AbortReasons[tx.reason].Add(1)
+		t.sys.cfg.Obs.Record(obs.EvAbort, uint64(t.sys.cfg.ObsID), uint64(tx.reason), uint64(attempt))
 		if attempt >= snapshotAttempts {
 			t.ctr.Starved.Add(1)
 			return false
@@ -195,6 +204,8 @@ func (t *thread) run(fn func(stm.Txn), readOnly bool) bool {
 		}
 		tx.rollback()
 		t.ctr.Aborts.Add(1)
+		t.ctr.AbortReasons[tx.reason].Add(1)
+		t.sys.cfg.Obs.Record(obs.EvAbort, uint64(t.sys.cfg.ObsID), uint64(tx.reason), uint64(attempt))
 		stm.Backoff(attempt)
 	}
 }
@@ -239,6 +250,7 @@ func (tx *txn) begin(readOnly, irrevocable bool) {
 	tx.Reset()
 	tx.readOnly = readOnly
 	tx.irrevocable = irrevocable
+	tx.reason = obs.ReasonUnknown
 	tx.reads = tx.reads[:0]
 	tx.undo = tx.undo[:0]
 	tx.locked = tx.locked[:0]
@@ -274,6 +286,21 @@ func (tx *txn) validate(s vlock.State) bool {
 	return s.Version() < tx.rClock
 }
 
+// abortWith tags the attempt's abort reason and unwinds. Does not return.
+func (tx *txn) abortWith(r obs.AbortReason) {
+	tx.reason = r
+	stm.AbortAttempt()
+}
+
+// lockAbortReason classifies a failed validate: a lock held by another
+// transaction is contention; an advanced version is a stale read clock.
+func lockAbortReason(s vlock.State) obs.AbortReason {
+	if s.Held() {
+		return obs.ReasonLockBusy
+	}
+	return obs.ReasonValidation
+}
+
 // acquire spins until it owns l (irrevocable path only).
 func (tx *txn) acquire(l *vlock.Lock) {
 	for {
@@ -297,8 +324,8 @@ func (tx *txn) Read(w *stm.Word) uint64 {
 		return w.Load()
 	}
 	v := w.Load()
-	if !tx.validate(l.Load()) {
-		stm.AbortAttempt()
+	if s := l.Load(); !tx.validate(s) {
+		tx.abortWith(lockAbortReason(s))
 	}
 	// Read-only transactions skip the read set: per-read validation
 	// suffices and tryCommit returns immediately for them (Listing 1
@@ -327,11 +354,14 @@ func (tx *txn) Write(w *stm.Word, v uint64) {
 		w.Store(v)
 		return
 	}
-	if s.Held() || s.Version() >= tx.rClock {
-		stm.AbortAttempt()
+	if s.Held() {
+		tx.abortWith(obs.ReasonLockBusy)
+	}
+	if s.Version() >= tx.rClock {
+		tx.abortWith(obs.ReasonValidation)
 	}
 	if !l.CompareAndSwap(s, vlock.Pack(true, false, tx.t.tid, s.Version())) {
-		stm.AbortAttempt()
+		tx.abortWith(obs.ReasonLockBusy)
 	}
 	tx.locked = append(tx.locked, l)
 	tx.undo = append(tx.undo, undoEntry{w, w.Load()})
@@ -344,8 +374,8 @@ func (tx *txn) commit() {
 	}
 	if !tx.irrevocable {
 		for _, l := range tx.reads {
-			if !tx.validate(l.Load()) {
-				stm.AbortAttempt()
+			if s := l.Load(); !tx.validate(s) {
+				tx.abortWith(lockAbortReason(s))
 			}
 		}
 	}
@@ -359,9 +389,9 @@ func (tx *txn) commit() {
 	// Commit observation (durability seam): past validation (or on the
 	// irrevocable path, which cannot abort), at the commit clock, still
 	// under the write locks.
-	if obs := tx.t.sys.cfg.OnCommit; obs != nil {
+	if co := tx.t.sys.cfg.OnCommit; co != nil {
 		if redo := tx.Redo(); len(redo) > 0 {
-			obs.ObserveCommit(commitClock, redo)
+			co.ObserveCommit(commitClock, redo)
 		}
 	}
 	for _, l := range tx.locked {

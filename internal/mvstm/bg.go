@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"runtime"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // bgLoop is the background thread (paper Listing 6): it performs every mode
@@ -59,6 +61,7 @@ func (s *System) bgStep() bool {
 			s.modeCounter.Store(c + 1)
 			s.firstObsModeUTs.Store(s.clock.Load())
 			s.bgCtr.ModeSwitches.Add(1)
+			s.cfg.Obs.Record(obs.EvModeSwitch, uint64(s.cfg.ObsID), c+1, 0)
 		}
 		s.reclaimTick()
 		return true
@@ -67,6 +70,7 @@ func (s *System) bgStep() bool {
 		if s.noSticky() {
 			s.modeCounter.Store(c + 1)
 			s.bgCtr.ModeSwitches.Add(1)
+			s.cfg.Obs.Record(obs.EvModeSwitch, uint64(s.cfg.ObsID), c+1, 0)
 		}
 		s.reclaimTick()
 		return true
@@ -78,6 +82,7 @@ func (s *System) bgStep() bool {
 			s.firstObsModeUTs.Store(0)
 			s.modeCounter.Store(c + 1)
 			s.bgCtr.ModeSwitches.Add(1)
+			s.cfg.Obs.Record(obs.EvModeSwitch, uint64(s.cfg.ObsID), c+1, 0)
 		}
 		s.reclaimTick()
 		return true

@@ -24,6 +24,7 @@ import (
 	"repro/internal/bloom"
 	"repro/internal/ebr"
 	"repro/internal/gclock"
+	"repro/internal/obs"
 	"repro/internal/stm"
 	"repro/internal/vlock"
 )
@@ -130,6 +131,13 @@ type Config struct {
 	// DisableBG suppresses the background thread entirely (unit tests
 	// drive transitions manually).
 	DisableBG bool
+	// Obs, when non-nil, receives flight-recorder events (aborts with
+	// reasons, mode switches). Nil means no event recording; per-reason
+	// abort counters in stm.Counters are maintained regardless.
+	Obs *obs.Recorder
+	// ObsID tags this instance's events (the shard index when the TM sits
+	// behind internal/shard).
+	ObsID int
 }
 
 func (c *Config) fill() {

@@ -1,6 +1,9 @@
 package mvstm
 
-import "repro/internal/stm"
+import (
+	"repro/internal/obs"
+	"repro/internal/stm"
+)
 
 // snapshotAttempts bounds the retries of one SnapshotAt call. Attempt 1
 // runs on the cheap unversioned read path (an in-place load is the value as
@@ -62,6 +65,8 @@ func (t *Thread) SnapshotAt(ts uint64, fn func(stm.Txn)) bool {
 		tx.abortCleanup()
 		t.slot.localModeCounter.Store(idleCounter)
 		t.ctr.Aborts.Add(1)
+		t.ctr.AbortReasons[tx.reason].Add(1)
+		t.sys.cfg.Obs.Record(obs.EvAbort, uint64(t.sys.cfg.ObsID), uint64(tx.reason), uint64(attempt))
 		if attempt >= snapshotAttempts {
 			t.ctr.Starved.Add(1)
 			return false

@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"repro/internal/ebr"
+	"repro/internal/obs"
 	"repro/internal/stm"
 	"repro/internal/vlock"
 )
@@ -47,6 +48,7 @@ type txn struct {
 	si               bool // snapshot-isolation path (§3.5)
 	readCnt          uint64
 	initialVTs       uint64 // initial versioned timestamp (first versioned attempt)
+	reason           obs.AbortReason
 
 	reads   []*vlock.Lock
 	undo    []undoEntry
@@ -125,6 +127,8 @@ func (t *Thread) run(fn func(stm.Txn), readOnly, si bool) bool {
 		tx.abortCleanup()
 		t.slot.localModeCounter.Store(idleCounter)
 		t.ctr.Aborts.Add(1)
+		t.ctr.AbortReasons[tx.reason].Add(1)
+		sys.cfg.Obs.Record(obs.EvAbort, uint64(sys.cfg.ObsID), uint64(tx.reason), uint64(attempt))
 		// Heuristics (paper Listing 1 abort, §4.3): decide whether to
 		// switch this transaction to the versioned path and whether to
 		// nudge the TM towards Mode U.
@@ -165,6 +169,7 @@ func (t *Thread) maybeModeCAS(tx *txn, attempts, versionedAttempts int) {
 	t.samplePending = true
 	if sys.modeCounter.CompareAndSwap(c, c+1) {
 		t.ctr.ModeSwitches.Add(1)
+		sys.cfg.Obs.Record(obs.EvModeSwitch, uint64(sys.cfg.ObsID), c+1, 0)
 	}
 }
 
@@ -176,6 +181,7 @@ func (tx *txn) begin(readOnly, versioned, si bool) {
 	tx.versioned = versioned
 	tx.si = si
 	tx.readCnt = 0
+	tx.reason = obs.ReasonUnknown
 	tx.reads = tx.reads[:0]
 	tx.undo = tx.undo[:0]
 	tx.locked = tx.locked[:0]
@@ -209,6 +215,22 @@ func (tx *txn) begin(readOnly, versioned, si bool) {
 	}
 }
 
+// abortWith tags the attempt's abort reason (for stm.Counters.AbortReasons
+// and the flight recorder) and unwinds. It does not return.
+func (tx *txn) abortWith(r obs.AbortReason) {
+	tx.reason = r
+	stm.AbortAttempt()
+}
+
+// lockAbortReason classifies a failed validateLock: a lock held by another
+// transaction is contention; an advanced version is a stale read snapshot.
+func lockAbortReason(s vlock.State) obs.AbortReason {
+	if s.Held() {
+		return obs.ReasonLockBusy
+	}
+	return obs.ReasonValidation
+}
+
 // validateLock is paper Listing 2's validateLock.
 func (tx *txn) validateLock(s vlock.State) bool {
 	if s.Held() && s.TID() == tx.t.tid {
@@ -240,7 +262,7 @@ func (tx *txn) Read(w *stm.Word) uint64 {
 		s = l.Load()
 	}
 	if !tx.validateLock(s) {
-		stm.AbortAttempt()
+		tx.abortWith(lockAbortReason(s))
 	}
 	if !tx.readOnly {
 		tx.reads = append(tx.reads, l)
@@ -264,7 +286,7 @@ func (tx *txn) modeQRead(w *stm.Word) uint64 {
 		if vl := sys.getVList(idx, w); vl != nil {
 			data, ok := vl.traverse(tx.rClock)
 			if !ok {
-				stm.AbortAttempt()
+				tx.abortWith(obs.ReasonVersionGone)
 			}
 			return data
 		}
@@ -298,7 +320,7 @@ func (tx *txn) versionThenRead(idx, hash uint64, w *stm.Word) uint64 {
 		l.Release(pre.Version())
 		data, ok := vl.traverse(tx.rClock)
 		if !ok {
-			stm.AbortAttempt()
+			tx.abortWith(obs.ReasonVersionGone)
 		}
 		return data
 	}
@@ -313,7 +335,7 @@ func (tx *txn) versionThenRead(idx, hash uint64, w *stm.Word) uint64 {
 	if !(pre.Version() < tx.rClock) {
 		// Validation failed; the address stays versioned but this
 		// transaction must abort (§4.1).
-		stm.AbortAttempt()
+		tx.abortWith(obs.ReasonValidation)
 	}
 	return data
 }
@@ -334,7 +356,7 @@ func (tx *txn) modeURead(w *stm.Word) uint64 {
 			if vl := sys.getVList(idx, w); vl != nil {
 				data, ok := vl.traverse(tx.rClock)
 				if !ok {
-					stm.AbortAttempt()
+					tx.abortWith(obs.ReasonVersionGone)
 				}
 				return data
 			}
@@ -361,7 +383,7 @@ func (tx *txn) modeURead(w *stm.Word) uint64 {
 			case !s.Held() && validVer:
 				return lastVal
 			}
-			stm.AbortAttempt()
+			tx.abortWith(obs.ReasonValidation)
 		}
 		if s.Held() {
 			// Locked: snapshot and re-examine once.
@@ -374,7 +396,7 @@ func (tx *txn) modeURead(w *stm.Word) uint64 {
 		if validVer {
 			return val
 		}
-		stm.AbortAttempt()
+		tx.abortWith(obs.ReasonValidation)
 	}
 }
 
@@ -403,17 +425,17 @@ func (tx *txn) Write(w *stm.Word, v uint64) {
 				preVersion = s.Version()
 				break
 			}
-			stm.AbortAttempt()
+			tx.abortWith(obs.ReasonLockBusy)
 		}
 		if s.Version() >= tx.rClock {
-			stm.AbortAttempt()
+			tx.abortWith(obs.ReasonValidation)
 		}
 		if l.CompareAndSwap(s, vlock.Pack(true, false, t.tid, s.Version())) {
 			preVersion = s.Version()
 			tx.locked = append(tx.locked, l)
 			break
 		}
-		stm.AbortAttempt()
+		tx.abortWith(obs.ReasonLockBusy)
 	}
 	old := w.Load()
 	tx.undo = append(tx.undo, undoEntry{w, old})
@@ -496,8 +518,8 @@ func (tx *txn) commit() {
 	// Revalidate the read set (snapshot-isolation transactions have an
 	// empty read set: their reads came from version lists).
 	for _, l := range tx.reads {
-		if !tx.validateLock(l.Load()) {
-			stm.AbortAttempt()
+		if s := l.Load(); !tx.validateLock(s) {
+			tx.abortWith(lockAbortReason(s))
 		}
 	}
 	commitClock := sys.clock.Load()
@@ -507,9 +529,9 @@ func (tx *txn) commit() {
 	// guards them), so the observer must run first or an SI transaction
 	// could read this commit's value and log its own dependent record
 	// ahead of ours. Nothing between here and the releases can abort.
-	if obs := sys.cfg.OnCommit; obs != nil {
+	if co := sys.cfg.OnCommit; co != nil {
 		if redo := tx.Redo(); len(redo) > 0 {
-			obs.ObserveCommit(commitClock, redo)
+			co.ObserveCommit(commitClock, redo)
 		}
 	}
 	// Unset TBD markers with the commit clock, then release locks.

@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind tags a flight-recorder event. Each kind documents what its
+// three payload words (A, B, C) mean.
+type EventKind uint8
+
+const (
+	evNone EventKind = iota
+	// EvAbort: a transaction attempt aborted. A = source id (shard index),
+	// B = AbortReason, C = attempt number within the retry loop.
+	EvAbort
+	// EvModeSwitch: an mvstm instance advanced its mode counter.
+	// A = source id, B = new counter value (mode = B & 3: 0 Q, 1 QtoU,
+	// 2 U, 3 UtoQ).
+	EvModeSwitch
+	// EvWalDegraded: a WAL stream entered (or deepened) degraded mode.
+	// A = shard, B = consecutive append/fsync failures, C = 1 if the
+	// stream's redundancy is exhausted.
+	EvWalDegraded
+	// EvWalHealed: a degraded WAL stream recovered. A = shard,
+	// B = nanoseconds spent degraded.
+	EvWalHealed
+	// EvWalSevered: the log was severed (crash-injected or fatal).
+	EvWalSevered
+	// EvCkptBegin: checkpoint started. A = frozen checkpoint ts.
+	EvCkptBegin
+	// EvCkptEnd: checkpoint finished. A = checkpoint ts, B = live pairs
+	// written, C = segments truncated.
+	EvCkptEnd
+	// EvCkptSkip: checkpoint completed but segment truncation was skipped
+	// (degraded stream or retention debt). A = checkpoint ts.
+	EvCkptSkip
+	// EvGroupCommit: one WAL flush batch hit the disk. A = shard,
+	// B = records in the batch.
+	EvGroupCommit
+	// EvAckBatch: the server released one group-commit ack batch.
+	// A = acks in the batch, B = 1 if the Sync succeeded, 0 if the batch
+	// was failed.
+	EvAckBatch
+	// EvReplicaRebase: a follower applied a rebase (checkpoint image).
+	// A = rebase base ts, B = pairs in the image.
+	EvReplicaRebase
+	// EvViolation: a torture/consistency violation was detected; the ring
+	// is dumped right after recording this. A = free-form code.
+	EvViolation
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvAbort:
+		return "abort"
+	case EvModeSwitch:
+		return "mode-switch"
+	case EvWalDegraded:
+		return "wal-degraded"
+	case EvWalHealed:
+		return "wal-healed"
+	case EvWalSevered:
+		return "wal-severed"
+	case EvCkptBegin:
+		return "ckpt-begin"
+	case EvCkptEnd:
+		return "ckpt-end"
+	case EvCkptSkip:
+		return "ckpt-trunc-skip"
+	case EvGroupCommit:
+		return "group-commit"
+	case EvAckBatch:
+		return "ack-batch"
+	case EvReplicaRebase:
+		return "replica-rebase"
+	case EvViolation:
+		return "violation"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one decoded flight-recorder entry.
+type Event struct {
+	Seq     uint64 // global record order (1-based)
+	UnixNs  int64
+	Kind    EventKind
+	A, B, C uint64
+}
+
+type evSlot struct {
+	seq  atomic.Uint64 // 0 while a writer is mid-publish
+	ns   atomic.Int64
+	kind atomic.Uint32
+	a    atomic.Uint64
+	b    atomic.Uint64
+	c    atomic.Uint64
+}
+
+// Recorder is a fixed-size lock-free ring of structured events. Record is
+// allocation-free and safe from any goroutine; a nil *Recorder records
+// nothing, so layers thread an optional recorder without branching beyond
+// the nil check inside Record. Readers (Events, Dump) run concurrently
+// with writers and drop slots caught mid-rewrite.
+type Recorder struct {
+	slots []evSlot
+	mask  uint64
+	next  atomic.Uint64
+}
+
+// DefaultRingSize is the ring capacity binaries use unless overridden.
+const DefaultRingSize = 4096
+
+// NewRecorder returns a recorder with capacity size rounded up to a power
+// of two (minimum 16; size <= 0 selects DefaultRingSize).
+func NewRecorder(size int) *Recorder {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	if size < 16 {
+		size = 16
+	}
+	if size&(size-1) != 0 {
+		size = 1 << bits.Len(uint(size))
+	}
+	return &Recorder{slots: make([]evSlot, size), mask: uint64(size - 1)}
+}
+
+// Record appends one event, overwriting the oldest when the ring is full.
+// Safe on a nil receiver (no-op).
+//
+// Publication protocol: the writer claims a unique sequence number, clears
+// the slot's seq to 0, stores the payload fields, then stores the sequence
+// number last. A reader that sees the same non-zero seq before and after
+// loading the fields observed a fully published event; any interleaved
+// rewrite changes seq (it strictly increases per slot) and the reader
+// discards the slot.
+func (r *Recorder) Record(kind EventKind, a, b, c uint64) {
+	if r == nil {
+		return
+	}
+	seq := r.next.Add(1)
+	s := &r.slots[(seq-1)&r.mask]
+	s.seq.Store(0)
+	s.ns.Store(time.Now().UnixNano())
+	s.kind.Store(uint32(kind))
+	s.a.Store(a)
+	s.b.Store(b)
+	s.c.Store(c)
+	s.seq.Store(seq)
+}
+
+// Len returns the number of events recorded so far (not capped at ring
+// size). Safe on a nil receiver.
+func (r *Recorder) Len() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// Events returns the decodable events currently in the ring, oldest first.
+// Slots being rewritten concurrently are skipped. Safe on a nil receiver.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		seq1 := s.seq.Load()
+		if seq1 == 0 {
+			continue
+		}
+		ev := Event{
+			Seq:    seq1,
+			UnixNs: s.ns.Load(),
+			Kind:   EventKind(s.kind.Load()),
+			A:      s.a.Load(),
+			B:      s.b.Load(),
+			C:      s.c.Load(),
+		}
+		if s.seq.Load() != seq1 {
+			continue // torn: a writer rewrote the slot while we read it
+		}
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// CountKind returns how many ring-resident events have the given kind.
+// Useful in tests; for long runs prefer registry counters (the ring
+// forgets overwritten events).
+func (r *Recorder) CountKind(kind EventKind) int {
+	n := 0
+	for _, ev := range r.Events() {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+var modeNames = [4]string{"Q", "QtoU", "U", "UtoQ"}
+
+// Format renders one event as a human-readable line (no trailing newline).
+func (ev Event) Format() string {
+	t := time.Unix(0, ev.UnixNs).UTC().Format("15:04:05.000000")
+	switch ev.Kind {
+	case EvAbort:
+		return fmt.Sprintf("%s #%d abort src=%d reason=%s attempt=%d",
+			t, ev.Seq, ev.A, AbortReason(ev.B).String(), ev.C)
+	case EvModeSwitch:
+		return fmt.Sprintf("%s #%d mode-switch src=%d mode=%s counter=%d",
+			t, ev.Seq, ev.A, modeNames[ev.B&3], ev.B)
+	case EvWalDegraded:
+		return fmt.Sprintf("%s #%d wal-degraded shard=%d fails=%d exhausted=%d",
+			t, ev.Seq, ev.A, ev.B, ev.C)
+	case EvWalHealed:
+		return fmt.Sprintf("%s #%d wal-healed shard=%d degraded_for=%s",
+			t, ev.Seq, ev.A, time.Duration(ev.B))
+	case EvWalSevered:
+		return fmt.Sprintf("%s #%d wal-severed", t, ev.Seq)
+	case EvCkptBegin:
+		return fmt.Sprintf("%s #%d ckpt-begin ts=%d", t, ev.Seq, ev.A)
+	case EvCkptEnd:
+		return fmt.Sprintf("%s #%d ckpt-end ts=%d pairs=%d truncated_segs=%d",
+			t, ev.Seq, ev.A, ev.B, ev.C)
+	case EvCkptSkip:
+		return fmt.Sprintf("%s #%d ckpt-trunc-skip ts=%d", t, ev.Seq, ev.A)
+	case EvGroupCommit:
+		return fmt.Sprintf("%s #%d group-commit shard=%d recs=%d", t, ev.Seq, ev.A, ev.B)
+	case EvAckBatch:
+		return fmt.Sprintf("%s #%d ack-batch acks=%d synced=%d", t, ev.Seq, ev.A, ev.B)
+	case EvReplicaRebase:
+		return fmt.Sprintf("%s #%d replica-rebase base_ts=%d pairs=%d", t, ev.Seq, ev.A, ev.B)
+	case EvViolation:
+		return fmt.Sprintf("%s #%d VIOLATION code=%d", t, ev.Seq, ev.A)
+	}
+	return fmt.Sprintf("%s #%d %s a=%d b=%d c=%d", t, ev.Seq, ev.Kind, ev.A, ev.B, ev.C)
+}
+
+// Dump writes the ring's events to w, oldest first, with a header and
+// footer so dumps are greppable in mixed logs. Safe on a nil receiver.
+func (r *Recorder) Dump(w io.Writer) {
+	if r == nil {
+		fmt.Fprintln(w, "obs: no flight recorder attached")
+		return
+	}
+	evs := r.Events()
+	fmt.Fprintf(w, "=== obs flight recorder: %d event(s) in ring, %d recorded ===\n",
+		len(evs), r.Len())
+	for _, ev := range evs {
+		fmt.Fprintln(w, ev.Format())
+	}
+	fmt.Fprintln(w, "=== end flight recorder ===")
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", h.Count())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) on empty hist = %v, want 0", q, got)
+		}
+	}
+	if h.Max() != 0 {
+		t.Fatalf("Max on empty hist = %v, want 0", h.Max())
+	}
+	snap := h.Snapshot()
+	if snap.Count != 0 || snap.P50 != 0 || snap.P999 != 0 || snap.Max != 0 {
+		t.Fatalf("empty snapshot = %+v, want zeros", snap)
+	}
+}
+
+func TestHistOneSample(t *testing.T) {
+	var h Hist
+	h.Record(100 * time.Microsecond)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	// Every quantile of a single sample reports the same bucket's upper
+	// bound, within the histogram's 1/16 relative error.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 100*time.Microsecond || got > 100*time.Microsecond*17/16+1 {
+			t.Fatalf("Quantile(%v) = %v, want ~100µs (≤ +1/16)", q, got)
+		}
+	}
+	if h.Max() != h.Quantile(1) {
+		t.Fatalf("Max = %v, Quantile(1) = %v; want equal", h.Max(), h.Quantile(1))
+	}
+}
+
+func TestHistNegativeClampsToZero(t *testing.T) {
+	var h Hist
+	h.Record(-time.Second)
+	if got := h.Quantile(0.5); got != time.Duration(1) {
+		t.Fatalf("Quantile after negative sample = %v, want 1ns (bucket-0 upper bound)", got)
+	}
+}
+
+func TestHistOverflowBucket(t *testing.T) {
+	var h Hist
+	h.RecordNs(math.MaxUint64)
+	// The top bucket's reported upper bound must saturate at MaxUint64,
+	// not wrap around to something tiny (1<<64 == 0).
+	got := uint64(h.Quantile(1))
+	if got != math.MaxUint64 {
+		t.Fatalf("Quantile(1) of MaxUint64 sample = %d, want MaxUint64", got)
+	}
+	if uint64(h.Max()) != math.MaxUint64 {
+		t.Fatalf("Max of MaxUint64 sample = %d, want MaxUint64", uint64(h.Max()))
+	}
+	// A sample one bucket below the top must not be affected.
+	var h2 Hist
+	h2.RecordNs(1 << 62)
+	if got := uint64(h2.Quantile(1)); got == math.MaxUint64 || got < 1<<62 {
+		t.Fatalf("Quantile(1) of 2^62 sample = %d, want (2^62, MaxUint64)", got)
+	}
+}
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	// histLow(i) must land back in bucket i, and histLow(i+1) must be the
+	// smallest value of the next bucket, across the full index range.
+	for i := 0; i < histBuckets; i++ {
+		lo := histLow(i)
+		if got := histBucket(lo); got != i {
+			t.Fatalf("histBucket(histLow(%d)=%d) = %d", i, lo, got)
+		}
+		hi := histLow(i + 1)
+		if hi <= lo {
+			t.Fatalf("histLow not monotone at %d: %d -> %d", i, lo, hi)
+		}
+		if i < histBuckets-1 {
+			if got := histBucket(hi); got != i+1 {
+				t.Fatalf("histBucket(histLow(%d)=%d) = %d, want %d", i+1, hi, got, i+1)
+			}
+		}
+	}
+	if histLow(histBuckets) != math.MaxUint64 {
+		t.Fatalf("histLow(top+1) = %d, want MaxUint64", histLow(histBuckets))
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	for i := 0; i < 100; i++ {
+		a.Record(time.Millisecond)
+	}
+	for i := 0; i < 100; i++ {
+		b.Record(time.Second)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged Count = %d, want 200", a.Count())
+	}
+	p25, p75 := a.Quantile(0.25), a.Quantile(0.75)
+	if p25 > 2*time.Millisecond {
+		t.Fatalf("merged p25 = %v, want ~1ms", p25)
+	}
+	if p75 < 500*time.Millisecond {
+		t.Fatalf("merged p75 = %v, want ~1s", p75)
+	}
+	// b is untouched.
+	if b.Count() != 100 {
+		t.Fatalf("source hist mutated: Count = %d", b.Count())
+	}
+}
+
+func TestHistConcurrentRecordSnapshot(t *testing.T) {
+	// Record from several goroutines while snapshotting continuously;
+	// under -race this exercises the lock-free paths, and the final
+	// counts must be exact once writers stop.
+	var h Hist
+	const writers, perWriter = 4, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := h.Snapshot()
+			if snap.P999 < snap.P50 {
+				t.Errorf("snapshot quantiles inverted: %+v", snap)
+				return
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Record(time.Duration(i%1000) * time.Microsecond)
+			}
+		}(w)
+	}
+	for h.Count() < writers*perWriter {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("Count = %d, want %d", got, writers*perWriter)
+	}
+	snap := h.Snapshot()
+	if snap.Count != writers*perWriter {
+		t.Fatalf("snapshot Count = %d, want %d", snap.Count, writers*perWriter)
+	}
+	if snap.Max > int64(2*time.Millisecond) {
+		t.Fatalf("Max = %v, larger than any recorded sample", time.Duration(snap.Max))
+	}
+}

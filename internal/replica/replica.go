@@ -52,6 +52,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/gclock"
 	"repro/internal/mvstm"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/stm"
 	"repro/internal/tl2"
@@ -108,6 +109,11 @@ type Options struct {
 	// FS is the filesystem seam the tail reads through (default fault.OS);
 	// an Injector here fault-tests the reading side.
 	FS fault.FS
+	// Obs, when set, receives the replica's live collectors (replica.*
+	// counters, applied-ts watermark, lag).
+	Obs *obs.Registry
+	// Rec, when set, receives rebase flight-recorder events.
+	Rec *obs.Recorder
 }
 
 func (o *Options) fill(fsys fault.FS) error {
@@ -188,6 +194,9 @@ type Replica struct {
 	polls       atomic.Uint64
 	emptyPolls  atomic.Uint64
 
+	rec          *obs.Recorder
+	lastProgress atomic.Int64 // unix nanos of the last applied batch or caught-up poll
+
 	caughtUp atomic.Bool
 	severed  atomic.Bool
 
@@ -219,7 +228,9 @@ func Open(opts Options) (*Replica, error) {
 		reader: wal.OpenShipReader(opts.Dir, opts.FS),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
+		rec:    opts.Rec,
 	}
+	r.lastProgress.Store(time.Now().UnixNano())
 	r.sys = shard.New(shard.Config{Shards: opts.Shards, Backend: backend})
 	per := opts.Capacity / opts.Shards
 	if per < 1024 {
@@ -238,8 +249,49 @@ func Open(opts Options) (*Replica, error) {
 		r.sys.Close()
 		return nil, dsErr
 	}
+	if opts.Obs != nil {
+		r.registerObs(opts.Obs)
+	}
 	go r.run()
 	return r, nil
+}
+
+// registerObs exposes the follower session on reg as live collectors.
+// replica.lag_ns is 0 while caught up; otherwise the time since the last
+// forward progress (an applied batch or a drained poll) — the operator's
+// "how stale are this follower's reads" number.
+func (r *Replica) registerObs(reg *obs.Registry) {
+	reg.Text(func(emit func(name, v string)) {
+		emit("replica.health", r.Health().String())
+	})
+	reg.Func(func(emit func(name string, v uint64)) {
+		st := r.Stats()
+		emit("replica.applied_recs", st.AppliedRecs)
+		emit("replica.applied_ops", st.AppliedOps)
+		emit("replica.applied_ts", st.AppliedTs)
+		emit("replica.rebases", st.Rebases)
+		emit("replica.polls", st.Polls)
+		emit("replica.empty_polls", st.EmptyPolls)
+		emit("replica.lag_ns", r.LagNs())
+		caught := uint64(0)
+		if r.Health() == CaughtUp {
+			caught = 1
+		}
+		emit("replica.caught_up", caught)
+	})
+}
+
+// LagNs returns 0 while the follower is caught up, otherwise the
+// nanoseconds since it last made forward progress.
+func (r *Replica) LagNs() uint64 {
+	if r.Health() == CaughtUp {
+		return 0
+	}
+	d := time.Now().UnixNano() - r.lastProgress.Load()
+	if d < 0 {
+		return 0
+	}
+	return uint64(d)
 }
 
 // Map returns the follower's logical map; drive reads with threads
@@ -378,6 +430,7 @@ func (r *Replica) run() {
 		default:
 			r.caughtUp.Store(true)
 			r.emptyPolls.Add(1)
+			r.lastProgress.Store(time.Now().UnixNano())
 			r.idle()
 		}
 	}
@@ -432,6 +485,8 @@ func (r *Replica) applyRebase(th *shard.Thread, b *wal.ShipBatch) {
 		r.appliedTs.Store(b.BaseTs)
 	}
 	r.caughtUp.Store(false)
+	r.lastProgress.Store(time.Now().UnixNano())
+	r.rec.Record(obs.EvReplicaRebase, b.BaseTs, uint64(len(b.Image)), 0)
 }
 
 // applyRecs applies shipped commit records in arrival order. Each record
@@ -474,6 +529,7 @@ func (r *Replica) applyRecs(th *shard.Thread, recs []wal.ShipRec) {
 			r.appliedTs.Store(rec.Ts)
 		}
 	}
+	r.lastProgress.Store(time.Now().UnixNano())
 }
 
 // applyOps commits one shard-confined group of redo ops, retrying

@@ -28,6 +28,7 @@
 package client
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/server/wire"
 )
 
@@ -251,6 +253,25 @@ func (cl *Client) Size() (int, error) {
 func (cl *Client) Batch(ops []wire.BatchOp) ([]bool, error) {
 	resp, err := cl.do(&wire.Request{Op: wire.OpBatch, Batch: ops})
 	return resp.Results, err
+}
+
+// StatsBlob fetches the server's metrics snapshot as raw JSON bytes.
+func (cl *Client) StatsBlob() ([]byte, error) {
+	resp, err := cl.do(&wire.Request{Op: wire.OpStats})
+	return resp.Blob, err
+}
+
+// Stats fetches and decodes the server's metrics snapshot.
+func (cl *Client) Stats() (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	blob, err := cl.StatsBlob()
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		return snap, fmt.Errorf("client: stats snapshot: %w", err)
+	}
+	return snap, nil
 }
 
 // Close half-closes the write side (the server drains in-flight requests

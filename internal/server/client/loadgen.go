@@ -3,94 +3,19 @@ package client
 import (
 	"errors"
 	"fmt"
-	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/server/wire"
 )
 
-// Hist is a concurrent log-linear latency histogram (16 sub-buckets per
-// power of two, linear below 16ns): relative error ≤ 1/16 per sample,
-// fixed memory, lock-free recording. Quantiles report the recorded
-// bucket's upper bound, so tails round pessimistically.
-type Hist struct {
-	counts [histBuckets]atomic.Uint64
-	n      atomic.Uint64
-}
-
-const (
-	histSubBits = 4
-	histSub     = 1 << histSubBits
-	histBuckets = (64-histSubBits)*histSub + histSub
-)
-
-func histBucket(v uint64) int {
-	if v < histSub {
-		return int(v)
-	}
-	exp := bits.Len64(v) - 1
-	sub := (v >> (uint(exp) - histSubBits)) & (histSub - 1)
-	return (exp-histSubBits+1)<<histSubBits + int(sub)
-}
-
-func histLow(i int) uint64 {
-	if i < histSub {
-		return uint64(i)
-	}
-	block := uint(i >> histSubBits)
-	exp := block + histSubBits - 1
-	return 1<<exp + uint64(i&(histSub-1))<<(exp-histSubBits)
-}
-
-// Record adds one sample.
-func (h *Hist) Record(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	h.counts[histBucket(uint64(d))].Add(1)
-	h.n.Add(1)
-}
-
-// Count returns the number of recorded samples.
-func (h *Hist) Count() uint64 { return h.n.Load() }
-
-// Quantile returns the latency at quantile q in [0, 1]. Zero samples
-// yields 0.
-func (h *Hist) Quantile(q float64) time.Duration {
-	n := h.n.Load()
-	if n == 0 {
-		return 0
-	}
-	target := uint64(q * float64(n))
-	if target >= n {
-		target = n - 1
-	}
-	var seen uint64
-	for i := range h.counts {
-		c := h.counts[i].Load()
-		if c == 0 {
-			continue
-		}
-		seen += c
-		if seen > target {
-			return time.Duration(histLow(i + 1))
-		}
-	}
-	return 0
-}
-
-// Merge adds o's samples into h (not concurrent-safe against Record on o).
-func (h *Hist) Merge(o *Hist) {
-	for i := range h.counts {
-		if c := o.counts[i].Load(); c != 0 {
-			h.counts[i].Add(c)
-		}
-	}
-	h.n.Add(o.n.Load())
-}
+// Hist is the load generator's latency histogram. The implementation was
+// promoted to internal/obs so the server's per-op metrics and the load
+// generator share one encoding; the alias keeps existing callers compiling.
+type Hist = obs.Hist
 
 // LoadConfig drives RunLoad.
 type LoadConfig struct {

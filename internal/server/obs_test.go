@@ -1,0 +1,96 @@
+package server_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// TestOpStatsSnapshot: OpStats must answer with a complete, versioned
+// snapshot even when the caller gave the server no registry — per-shard TM
+// counters, WAL health and stats, server counters, per-op latency quantiles.
+func TestOpStatsSnapshot(t *testing.T) {
+	srv, l, _, addr := startServer(t, t.TempDir(), 2, nil, server.Options{Workers: 2})
+	defer l.Close()
+	defer srv.Close()
+	cl := dial(t, addr)
+	defer cl.Close()
+
+	for k := uint64(1); k <= 32; k++ {
+		if _, err := cl.Insert(k, k); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	if _, _, err := cl.Search(5); err != nil {
+		t.Fatalf("search: %v", err)
+	}
+
+	snap, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if snap.Version != obs.SnapshotVersion {
+		t.Fatalf("snapshot version %d, want %d", snap.Version, obs.SnapshotVersion)
+	}
+	if snap.Text["wal.health"] != "healthy" {
+		t.Fatalf("wal.health = %q", snap.Text["wal.health"])
+	}
+	var commits uint64
+	for sh := 0; sh < 2; sh++ {
+		commits += snap.Counters[shardCounter(sh, "commits")]
+	}
+	if commits < 32 {
+		t.Fatalf("per-shard commits total %d, want >= 32 (counters: %v)", commits, snap.Counters)
+	}
+	for _, name := range []string{"server.requests", "server.updates", "wal.records", "wal.fsyncs"} {
+		if snap.Counters[name] == 0 {
+			t.Fatalf("counter %q is 0", name)
+		}
+	}
+	h, ok := snap.Hists["server.lat.insert"]
+	if !ok {
+		t.Fatalf("no insert latency histogram (hists: %v)", snap.Hists)
+	}
+	if h.Count < 32 || h.P50 == 0 || h.P99 < h.P50 {
+		t.Fatalf("insert latency snapshot implausible: %+v", h)
+	}
+	if _, ok := snap.Hists["server.lat.search"]; !ok {
+		t.Fatal("no search latency histogram")
+	}
+}
+
+// TestOpStatsSharedRegistry: when the process hands one registry to both the
+// WAL and the server, OpStats serves the union without double registration.
+func TestOpStatsSharedRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, l, _, addr := startServer(t, t.TempDir(), 1,
+		func(o *wal.Options) { o.Obs = reg },
+		server.Options{Workers: 2, Obs: reg})
+	defer l.Close()
+	defer srv.Close()
+	cl := dial(t, addr)
+	defer cl.Close()
+
+	if _, err := cl.Insert(1, 1); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	blob, err := cl.StatsBlob()
+	if err != nil {
+		t.Fatalf("stats blob: %v", err)
+	}
+	for _, want := range []string{"wal.health", "shard.0.commits", "server.requests", "server.lat.insert"} {
+		if !strings.Contains(string(blob), want) {
+			t.Fatalf("snapshot JSON missing %q:\n%s", want, blob)
+		}
+	}
+	if srv.Registry() != reg {
+		t.Fatal("server did not adopt the shared registry")
+	}
+}
+
+func shardCounter(shard int, field string) string {
+	return "shard." + string(rune('0'+shard)) + "." + field
+}

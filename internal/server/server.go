@@ -53,6 +53,7 @@ import (
 
 	"repro/internal/ds"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/server/wire"
 	"repro/internal/shard"
 	"repro/internal/stm"
@@ -115,6 +116,14 @@ type Options struct {
 	// it — the mode a follower replica serves in: reads are answered from
 	// the continuously replayed state, writes belong to the leader.
 	ReadOnly bool
+	// Obs is the metrics registry the server publishes on: its own
+	// counters, per-op latency histograms, and — when it created the
+	// registry itself (Obs nil) — the log's and shards' collectors too,
+	// so OpStats always answers with a complete snapshot. Pass the
+	// process-wide registry to share one scrape surface with the WAL.
+	Obs *obs.Registry
+	// Rec, when set, receives ack-batch flight-recorder events.
+	Rec *obs.Recorder
 }
 
 func (o *Options) fill() {
@@ -189,20 +198,61 @@ type Server struct {
 	syncRounds atomic.Uint64
 	syncedAcks atomic.Uint64
 	failedAcks atomic.Uint64
+
+	reg    *obs.Registry
+	rec    *obs.Recorder
+	opHist [maxOp + 1]*obs.Hist // per-op request latency, indexed by wire.Op
 }
+
+// maxOp is the highest wire.Op value the latency-histogram table covers.
+const maxOp = wire.OpStats
 
 // New builds a server over an already-open system. sys must be the system
 // the map m runs on (for a WAL-backed map, l.System()).
 func New(sys *shard.System, m ds.Map, l *wal.Log, opts Options) *Server {
 	opts.fill()
-	return &Server{
+	s := &Server{
 		sys: sys, m: m, l: l, opts: opts,
 		reqq:      make(chan request, opts.QueueDepth),
 		stopSync:  make(chan struct{}),
 		conns:     make(map[*srvConn]struct{}),
 		ackNotify: make(chan struct{}, 1),
+		rec:       opts.Rec,
 	}
+	// OpStats must always answer, so a server handed no registry builds a
+	// private one and registers every layer it can see onto it; a shared
+	// registry is assumed to carry the log's collectors already (OpenWith
+	// registers them).
+	if opts.Obs != nil {
+		s.reg = opts.Obs
+	} else {
+		s.reg = obs.NewRegistry()
+		if l != nil {
+			l.RegisterObs(s.reg)
+		} else {
+			s.reg.Func(func(emit func(name string, v uint64)) {
+				wal.RegisterShardStats(emit, sys)
+			})
+		}
+	}
+	s.reg.Func(func(emit func(name string, v uint64)) {
+		st := s.Stats()
+		emit("server.accepted", st.Accepted)
+		emit("server.requests", st.Requests)
+		emit("server.updates", st.Updates)
+		emit("server.sync_rounds", st.SyncRounds)
+		emit("server.synced_acks", st.SyncedAcks)
+		emit("server.failed_acks", st.FailedAcks)
+	})
+	for op := wire.OpPing; op <= maxOp; op++ {
+		s.opHist[op] = s.reg.Hist("server.lat." + op.String())
+	}
+	return s
 }
+
+// Registry returns the metrics registry OpStats snapshots — the one passed
+// in Options.Obs, or the private one New built.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Start begins serving on ln and returns immediately. The listener is owned
 // by the server from here on: Shutdown/Close close it.
@@ -465,6 +515,11 @@ func (s *Server) handle(th stm.Thread, req request) {
 		s.respond(req.c, &resp)
 		return
 	}
+	// Per-op latency covers execution up to response enqueue (for updates,
+	// staging — ack-side fsync latency is the syncer's metric, not the
+	// op's). ~100ns of clock reads against a wire round trip is noise.
+	start := time.Now()
+	defer func() { s.opHist[r.Op].Record(time.Since(start)) }()
 	switch r.Op {
 	case wire.OpPing:
 		s.respond(req.c, &resp)
@@ -518,6 +573,14 @@ func (s *Server) handle(th stm.Thread, req request) {
 		s.stage(req.c, &resp)
 	case wire.OpBatch:
 		s.handleBatch(th, req.c, &r, &resp)
+	case wire.OpStats:
+		blob, err := s.reg.JSON()
+		if err != nil {
+			resp.Status = wire.StatusBadRequest
+		} else {
+			resp.Blob = blob
+		}
+		s.respond(req.c, &resp)
 	default:
 		resp.Status = wire.StatusBadRequest
 		s.respond(req.c, &resp)
@@ -615,6 +678,7 @@ func (s *Server) syncLoop() {
 func (s *Server) releaseBatch(batch []stagedAck) {
 	err := s.l.Sync()
 	st := wire.StatusOK
+	synced := uint64(1)
 	if err != nil {
 		if errors.Is(err, wal.ErrSevered) {
 			st = wire.StatusSevered
@@ -625,10 +689,12 @@ func (s *Server) releaseBatch(batch []stagedAck) {
 			st = wire.StatusDegraded
 		}
 		s.failedAcks.Add(uint64(len(batch)))
+		synced = 0
 	} else {
 		s.syncedAcks.Add(uint64(len(batch)))
 	}
 	s.syncRounds.Add(1)
+	s.rec.Record(obs.EvAckBatch, uint64(len(batch)), synced, 0)
 	for i := range batch {
 		batch[i].resp.Status = st
 		s.respond(batch[i].c, &batch[i].resp)

@@ -72,6 +72,11 @@ const (
 	// Body: u16 n | n × (u8 kind{1=insert,2=delete} | u64 key | u64 val);
 	// reply: n × u8 per-op result, in batch order.
 	OpBatch
+	// OpStats requests a metrics snapshot (empty body; reply: the server's
+	// obs.Registry snapshot as JSON bytes). The blob is self-describing
+	// (it carries a version field) so tooling like stmtop can evolve
+	// independently of the binary protocol.
+	OpStats
 )
 
 func (o Op) String() string {
@@ -90,6 +95,8 @@ func (o Op) String() string {
 		return "size"
 	case OpBatch:
 		return "batch"
+	case OpStats:
+		return "stats"
 	}
 	return fmt.Sprintf("op(%d)", byte(o))
 }
@@ -251,7 +258,7 @@ func ParseRequest(p []byte) (Request, error) {
 	body := p[9:]
 	need := func(n int) bool { return len(body) == n }
 	switch req.Op {
-	case OpPing, OpSize:
+	case OpPing, OpSize, OpStats:
 		if !need(0) {
 			return req, fmt.Errorf("wire: %s body has %d trailing bytes", req.Op, len(body))
 		}
@@ -300,7 +307,8 @@ func ParseRequest(p []byte) (Request, error) {
 
 // Response is one decoded response. OK carries the boolean result of point
 // ops (inserted/deleted/found), Val the found value, Count/Sum the
-// range/size results, and Results the per-op outcomes of a batch.
+// range/size results, Results the per-op outcomes of a batch, and Blob the
+// opaque payload of a stats snapshot.
 type Response struct {
 	ID      uint64
 	Op      Op
@@ -310,6 +318,7 @@ type Response struct {
 	Count   uint64
 	Sum     uint64
 	Results []bool
+	Blob    []byte
 }
 
 // AppendResponse appends resp's payload encoding (unframed) to dst.
@@ -340,6 +349,8 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 		for _, r := range resp.Results {
 			dst = append(dst, b2u(r))
 		}
+	case OpStats:
+		dst = append(dst, resp.Blob...)
 	}
 	return dst
 }
@@ -393,6 +404,8 @@ func ParseResponse(p []byte) (Response, error) {
 		for i, b := range body {
 			resp.Results[i] = b != 0
 		}
+	case OpStats:
+		resp.Blob = append([]byte(nil), body...)
 	default:
 		return resp, fmt.Errorf("wire: unknown op %d in response", byte(resp.Op))
 	}

@@ -68,6 +68,7 @@ package shard
 
 import (
 	"fmt"
+	"sync/atomic"
 	"unsafe"
 
 	"repro/internal/gclock"
@@ -106,6 +107,7 @@ type System struct {
 	shards        []stm.System
 	freezeRetries int
 	name          string
+	freezes       atomic.Uint64 // shared-clock snapshot freezes (FreezeTs + snap retries)
 }
 
 // New builds the sharded system.
@@ -167,7 +169,15 @@ func (s *System) ClockValue() uint64 { return s.clock.Load() }
 // This is the same linearization-point increment the cross-shard query path
 // performs internally, exposed for whole-system consumers (internal/wal's
 // checkpointer snapshots all shards at one FreezeTs).
-func (s *System) FreezeTs() uint64 { return s.clock.Increment() }
+func (s *System) FreezeTs() uint64 {
+	s.freezes.Add(1)
+	return s.clock.Increment()
+}
+
+// Freezes returns how many snapshot freezes the system has performed —
+// explicit FreezeTs calls plus the internal freeze of every cross-shard
+// snapshot attempt. Monotone; an observability counter.
+func (s *System) Freezes() uint64 { return s.freezes.Load() }
 
 // Stats implements stm.System: the sum over all shards.
 func (s *System) Stats() stm.Stats {
@@ -333,7 +343,7 @@ func (t *Thread) exec(fn func(stm.Txn), readOnly bool) bool {
 			freezes++
 			// Freeze: the one shared-clock increment that is the
 			// query's linearization point.
-			tx.ts = t.sys.clock.Increment()
+			tx.ts = t.sys.FreezeTs()
 			tx.state = stateSnap
 		} else {
 			tx.state = stateProbe

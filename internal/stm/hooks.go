@@ -1,6 +1,10 @@
 package stm
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
 
 // Hooks is the per-attempt side-effect buffer shared by every TM: abort
 // rollbacks, commit actions and revocable eventual-frees (paper §4.5). TM
@@ -75,11 +79,16 @@ type Counters struct {
 	Unversionings    atomic.Uint64
 	AddrVersioned    atomic.Uint64
 	Irrevocable      atomic.Uint64
+
+	// AbortReasons breaks Aborts down by obs.AbortReason. Backends that
+	// classify their abort sites increment the matching entry alongside
+	// Aborts; unclassified aborts land in obs.ReasonUnknown.
+	AbortReasons [obs.NumAbortReasons]atomic.Uint64
 }
 
 // Snapshot returns the current values.
 func (c *Counters) Snapshot() Stats {
-	return Stats{
+	s := Stats{
 		Commits:          c.Commits.Load(),
 		Aborts:           c.Aborts.Load(),
 		Starved:          c.Starved.Load(),
@@ -90,4 +99,8 @@ func (c *Counters) Snapshot() Stats {
 		AddrVersioned:    c.AddrVersioned.Load(),
 		Irrevocable:      c.Irrevocable.Load(),
 	}
+	for i := range c.AbortReasons {
+		s.AbortReasons[i] = c.AbortReasons[i].Load()
+	}
+	return s
 }

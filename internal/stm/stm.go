@@ -17,7 +17,11 @@
 // hooks (OnAbort, OnCommit, Free).
 package stm
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
 
 // Word is a transactional memory word. It is the only transactional type:
 // programs store integers, booleans, keys, and arena node indices in Words.
@@ -136,6 +140,11 @@ type Stats struct {
 	Unversionings    uint64 // VLT buckets unversioned (Multiverse)
 	AddrVersioned    uint64 // addresses switched to versioned state (Multiverse)
 	Irrevocable      uint64 // irrevocable-path commits (DCTL)
+
+	// AbortReasons breaks Aborts down by obs.AbortReason (index by the
+	// reason value). Entries sum to at most Aborts; the difference sits in
+	// the obs.ReasonUnknown entry for unclassified abort sites.
+	AbortReasons [obs.NumAbortReasons]uint64
 }
 
 // Add accumulates o into s.
@@ -149,6 +158,9 @@ func (s *Stats) Add(o Stats) {
 	s.Unversionings += o.Unversionings
 	s.AddrVersioned += o.AddrVersioned
 	s.Irrevocable += o.Irrevocable
+	for i := range s.AbortReasons {
+		s.AbortReasons[i] += o.AbortReasons[i]
+	}
 }
 
 // Sub removes o from s (windowed deltas: Stats are monotone totals).
@@ -162,6 +174,9 @@ func (s *Stats) Sub(o Stats) {
 	s.Unversionings -= o.Unversionings
 	s.AddrVersioned -= o.AddrVersioned
 	s.Irrevocable -= o.Irrevocable
+	for i := range s.AbortReasons {
+		s.AbortReasons[i] -= o.AbortReasons[i]
+	}
 }
 
 type abortSignal struct{}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/ebr"
 	"repro/internal/gclock"
+	"repro/internal/obs"
 	"repro/internal/stm"
 	"repro/internal/vlock"
 )
@@ -31,6 +32,11 @@ type Config struct {
 	// (after validation and write-back, before the write locks release at
 	// wv). See stm.CommitObserver.
 	OnCommit stm.CommitObserver
+	// Obs, when non-nil, receives abort events with reasons in the flight
+	// recorder; per-reason counters in stm.Counters are kept regardless.
+	Obs *obs.Recorder
+	// ObsID tags this instance's events (shard index under internal/shard).
+	ObsID int
 }
 
 func (c *Config) fill() {
@@ -97,6 +103,7 @@ type txn struct {
 	t        *thread
 	rv       uint64
 	readOnly bool
+	reason   obs.AbortReason
 	reads    []*vlock.Lock
 	writes   []writeEntry
 	locked   []*vlock.Lock
@@ -146,6 +153,8 @@ func (t *thread) SnapshotAt(ts uint64, fn func(stm.Txn)) bool {
 		}
 		tx.rollback()
 		t.ctr.Aborts.Add(1)
+		t.ctr.AbortReasons[tx.reason].Add(1)
+		t.sys.cfg.Obs.Record(obs.EvAbort, uint64(t.sys.cfg.ObsID), uint64(tx.reason), uint64(attempt))
 		if attempt >= snapshotAttempts {
 			t.ctr.Starved.Add(1)
 			return false
@@ -178,6 +187,8 @@ func (t *thread) run(fn func(stm.Txn), readOnly bool) bool {
 		}
 		tx.rollback()
 		t.ctr.Aborts.Add(1)
+		t.ctr.AbortReasons[tx.reason].Add(1)
+		t.sys.cfg.Obs.Record(obs.EvAbort, uint64(t.sys.cfg.ObsID), uint64(tx.reason), uint64(attempt))
 		if m := t.sys.cfg.MaxAttempts; m > 0 && attempt >= m {
 			t.ctr.Starved.Add(1)
 			return false
@@ -188,6 +199,7 @@ func (t *thread) run(fn func(stm.Txn), readOnly bool) bool {
 func (tx *txn) begin(readOnly bool) {
 	tx.Reset()
 	tx.readOnly = readOnly
+	tx.reason = obs.ReasonUnknown
 	tx.reads = tx.reads[:0]
 	tx.writes = tx.writes[:0]
 	tx.locked = tx.locked[:0]
@@ -204,6 +216,12 @@ func (tx *txn) rollback() {
 	tx.RunAbort()
 }
 
+// abortWith tags the attempt's abort reason and unwinds. Does not return.
+func (tx *txn) abortWith(r obs.AbortReason) {
+	tx.reason = r
+	stm.AbortAttempt()
+}
+
 // Read implements stm.Txn. TL2 read protocol: consult the redo log, then
 // sample the lock, read the value, and re-sample to detect racing writers.
 func (tx *txn) Read(w *stm.Word) uint64 {
@@ -216,12 +234,15 @@ func (tx *txn) Read(w *stm.Word) uint64 {
 	}
 	l := tx.t.sys.locks.Of(w)
 	s1 := l.Load()
-	if s1.Held() || s1.Version() > tx.rv {
-		stm.AbortAttempt()
+	if s1.Held() {
+		tx.abortWith(obs.ReasonLockBusy)
+	}
+	if s1.Version() > tx.rv {
+		tx.abortWith(obs.ReasonValidation)
 	}
 	v := w.Load()
 	if l.Load() != s1 {
-		stm.AbortAttempt()
+		tx.abortWith(obs.ReasonValidation)
 	}
 	// Read-only TL2 transactions need no read set: per-read validation
 	// against rv suffices and commit is a no-op.
@@ -253,11 +274,14 @@ func (tx *txn) commit() {
 			continue
 		}
 		s := l.Load()
-		if s.Held() || s.Version() > tx.rv {
-			stm.AbortAttempt()
+		if s.Held() {
+			tx.abortWith(obs.ReasonLockBusy)
+		}
+		if s.Version() > tx.rv {
+			tx.abortWith(obs.ReasonValidation)
 		}
 		if !l.CompareAndSwap(s, vlock.Pack(true, false, t.tid, s.Version())) {
-			stm.AbortAttempt()
+			tx.abortWith(obs.ReasonLockBusy)
 		}
 		tx.locked = append(tx.locked, l)
 	}
@@ -267,8 +291,11 @@ func (tx *txn) commit() {
 	if wv != tx.rv+1 {
 		for _, l := range tx.reads {
 			s := l.Load()
-			if (s.Held() && !tx.owns(l)) || s.Version() > tx.rv {
-				stm.AbortAttempt()
+			if s.Held() && !tx.owns(l) {
+				tx.abortWith(obs.ReasonLockBusy)
+			}
+			if s.Version() > tx.rv {
+				tx.abortWith(obs.ReasonValidation)
 			}
 		}
 	}
@@ -278,9 +305,9 @@ func (tx *txn) commit() {
 	// Commit observation (durability seam): validation passed, the redo
 	// values are in place, and the write locks are still held, so nothing
 	// can abort this commit and no conflicting commit can observe first.
-	if obs := sys.cfg.OnCommit; obs != nil {
+	if co := sys.cfg.OnCommit; co != nil {
 		if redo := tx.Redo(); len(redo) > 0 {
-			obs.ObserveCommit(wv, redo)
+			co.ObserveCommit(wv, redo)
 		}
 	}
 	for _, l := range tx.locked {

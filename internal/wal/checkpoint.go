@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/ds"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/stm"
 )
 
@@ -62,6 +63,7 @@ func (l *Log) Checkpoint() (CheckpointInfo, error) {
 		return info, err
 	}
 	info.Ts, info.Freezes, info.Live = ts, freezes, len(image)
+	l.rec.Record(obs.EvCkptBegin, ts, 0, 0)
 
 	full := l.lastCkptTs.Load() == 0 || l.incrSinceFull >= l.opts.FullEvery
 	var entries []ckptEntry
@@ -98,6 +100,7 @@ func (l *Log) Checkpoint() (CheckpointInfo, error) {
 	l.ckptFiles = append(l.ckptFiles, ckptOnDisk{ts: ts, full: full, path: path})
 	if l.Health() != Healthy {
 		info.TruncationSkipped = true
+		l.rec.Record(obs.EvCkptSkip, ts, 0, 0)
 	} else {
 		if full {
 			kept := l.ckptFiles[:0]
@@ -135,6 +138,7 @@ func (l *Log) Checkpoint() (CheckpointInfo, error) {
 	l.checkpoints.Add(1)
 	info.Pause = time.Since(start)
 	l.lastCkptPause.Store(int64(info.Pause))
+	l.rec.Record(obs.EvCkptEnd, ts, uint64(info.Live), uint64(info.TruncatedSegs))
 	return info, nil
 }
 

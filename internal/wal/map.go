@@ -2,6 +2,7 @@ package wal
 
 import (
 	"repro/internal/ds"
+	"repro/internal/obs"
 	"repro/internal/stm"
 )
 
@@ -30,6 +31,7 @@ var _ ds.Visitor = (*Map)(nil)
 func (m *Map) rejectIfDegraded(tx stm.Txn) {
 	if m.log != nil && m.log.rejecting() {
 		m.log.rejectedOps.Add(1)
+		m.log.rec.Record(obs.EvAbort, 0, uint64(obs.ReasonWalReject), 0)
 		tx.Cancel()
 	}
 }

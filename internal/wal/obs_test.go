@@ -1,0 +1,109 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ds"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// TestObsDegradedHealedEvents: a write-fault episode must land in the flight
+// recorder as wal-degraded followed by wal-healed for the failing shard, and
+// the registry snapshot must expose the log and shard counters live.
+func TestObsDegradedHealedEvents(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(256)
+	inj := fault.NewInjector(fault.OS, 1, fault.Rule{Ops: fault.OpWrite, Path: "wal-", Kth: 2, Times: 1})
+	m, l := mustOpen(t, faultOpts(dir, inj, func(o *Options) {
+		o.Obs = reg
+		o.Rec = rec
+	}))
+	defer l.Close()
+	insertRange(t, l, m, 1, 200)
+	syncHeals(t, l, 2*time.Second)
+	if l.Stats().Degradations == 0 {
+		t.Fatal("fault never fired: test exercised nothing")
+	}
+
+	var sawDegraded, sawHealedAfter bool
+	for _, ev := range rec.Events() {
+		switch ev.Kind {
+		case obs.EvWalDegraded:
+			if ev.A != 0 {
+				t.Fatalf("degraded event on shard %d, want 0", ev.A)
+			}
+			sawDegraded = true
+		case obs.EvWalHealed:
+			if !sawDegraded {
+				t.Fatal("wal-healed recorded before wal-degraded")
+			}
+			if ev.B == 0 {
+				t.Fatal("healed event carries zero episode duration")
+			}
+			sawHealedAfter = true
+		}
+	}
+	if !sawDegraded || !sawHealedAfter {
+		t.Fatalf("missing transition events: degraded=%v healed=%v", sawDegraded, sawHealedAfter)
+	}
+	if rec.CountKind(obs.EvGroupCommit) == 0 {
+		t.Fatal("no group-commit batch events recorded")
+	}
+
+	snap := reg.Snapshot()
+	if snap.Text["wal.health"] != "healthy" {
+		t.Fatalf("wal.health = %q, want healthy", snap.Text["wal.health"])
+	}
+	for _, name := range []string{"wal.records", "wal.fsyncs", "wal.degradations", "shard.0.commits"} {
+		if snap.Counters[name] == 0 {
+			t.Fatalf("snapshot counter %q is 0 (snapshot: %v)", name, snap.Counters)
+		}
+	}
+	if snap.Counters["wal.records"] != l.Stats().Records {
+		t.Fatalf("registry wal.records = %d, Stats().Records = %d — collector not live",
+			snap.Counters["wal.records"], l.Stats().Records)
+	}
+}
+
+// TestObsRejectAbortEvents: DegradeReject refusals must surface as abort
+// events tagged ReasonWalReject, so an operator watching the ring can tell
+// durability-policy aborts from TM conflicts.
+func TestObsRejectAbortEvents(t *testing.T) {
+	dir := t.TempDir()
+	rec := obs.NewRecorder(256)
+	inj := fault.NewInjector(fault.OS, 1, fault.Rule{Ops: fault.OpWrite, Path: "wal-", Kth: 2})
+	m, l := mustOpen(t, faultOpts(dir, inj, func(o *Options) {
+		o.DegradedMode = DegradeReject
+		o.Rec = rec
+	}))
+	defer l.Close()
+	insertRange(t, l, m, 1, 50)
+	deadline := time.Now().Add(2 * time.Second)
+	for !l.rejecting() {
+		if !time.Now().Before(deadline) {
+			t.Fatal("reject mode never engaged")
+		}
+		l.Sync()
+		time.Sleep(time.Millisecond)
+	}
+	th := l.System().Register()
+	if _, ok := ds.Insert(th, m, 999, 999); ok {
+		th.Unregister()
+		t.Fatal("mutation committed while rejecting")
+	}
+	th.Unregister()
+
+	found := false
+	for _, ev := range rec.Events() {
+		if ev.Kind == obs.EvAbort && obs.AbortReason(ev.B) == obs.ReasonWalReject {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no wal-reject abort event in ring (have %d events)", len(rec.Events()))
+	}
+}

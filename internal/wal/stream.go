@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/stm"
 )
 
@@ -201,6 +202,7 @@ func (s *stream) flushLocked(sync bool) error {
 	if s.closed {
 		return fmt.Errorf("wal: shard %d: flush on a closed stream", s.shard)
 	}
+	batch := s.bufRecs + s.unsyncedRecs // records this attempt makes durable
 	if s.needSeal {
 		if err := s.sealLocked(); err != nil {
 			return s.failLocked(err)
@@ -241,6 +243,9 @@ func (s *stream) flushLocked(sync bool) error {
 		}
 	}
 	s.healLocked()
+	if sync && batch > 0 {
+		s.l.rec.Record(obs.EvGroupCommit, uint64(s.shard), uint64(batch), 0)
+	}
 	return nil
 }
 
@@ -361,15 +366,26 @@ func (s *stream) failLocked(err error) error {
 	s.err = err
 	s.fails++
 	s.l.flushFailures.Add(1)
+	entered := false
 	if !s.degraded {
 		s.degraded = true
 		s.degradedAt = time.Now()
 		s.l.degradations.Add(1)
 		s.l.degradedStreams.Add(1)
+		entered = true
 	}
+	exhausted := false
 	if !s.exhausted && (s.fails > s.l.opts.RetryLimit || !fault.Transient(err)) {
 		s.exhausted = true
 		s.l.exhaustedStreams.Add(1)
+		exhausted = true
+	}
+	if entered || exhausted {
+		var ex uint64
+		if s.exhausted {
+			ex = 1
+		}
+		s.l.rec.Record(obs.EvWalDegraded, uint64(s.shard), uint64(s.fails), ex)
 	}
 	d := s.l.opts.GroupInterval
 	for i := 1; i < s.fails && d < s.l.opts.RetryBackoffMax; i++ {
@@ -391,12 +407,14 @@ func (s *stream) healLocked() {
 		s.fails = 0
 		s.err = nil
 		s.nextRetry = time.Time{}
-		s.l.degradedNanos.Add(time.Since(s.degradedAt).Nanoseconds())
+		episode := time.Since(s.degradedAt)
+		s.l.degradedNanos.Add(episode.Nanoseconds())
 		s.l.degradedStreams.Add(-1)
 		if s.exhausted {
 			s.exhausted = false
 			s.l.exhaustedStreams.Add(-1)
 		}
+		s.l.rec.Record(obs.EvWalHealed, uint64(s.shard), uint64(episode.Nanoseconds()), 0)
 	}
 	s.retainedG.Store(0)
 }

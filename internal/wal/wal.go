@@ -64,6 +64,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/gclock"
 	"repro/internal/mvstm"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/stm"
 	"repro/internal/tl2"
@@ -255,6 +256,15 @@ type Options struct {
 	// StallTimeout bounds how long a stalled Sync (or SyncEveryCommit
 	// observer) blocks waiting for the log to heal (default 2s).
 	StallTimeout time.Duration
+	// Obs, when non-nil, gets the log's metrics registered on it: wal.*
+	// counters (live views over the same atomics Stats() reads), wal.health,
+	// per-shard TM counters (shard.N.*) and the aggregated abort-reason
+	// breakdown. Registration happens once in OpenWith.
+	Obs *obs.Registry
+	// Rec, when non-nil, receives flight-recorder events: WAL health
+	// transitions, checkpoint lifecycle, group-commit batch sizes, and (via
+	// the TM configs) abort and mode-switch events from every shard.
+	Rec *obs.Recorder
 }
 
 func (o *Options) fill() error {
@@ -334,15 +344,16 @@ func backendFor(o Options, streams []*stream) (shard.Backend, error) {
 			c := cfg
 			c.Clock = clock
 			c.OnCommit = streams[i]
+			c.Obs, c.ObsID = o.Rec, i
 			return mvstm.New(c)
 		}, nil
 	case "tl2":
 		return func(i int, clock *gclock.Clock) stm.System {
-			return tl2.New(tl2.Config{LockTableSize: o.LockTable, Clock: clock, OnCommit: streams[i]})
+			return tl2.New(tl2.Config{LockTableSize: o.LockTable, Clock: clock, OnCommit: streams[i], Obs: o.Rec, ObsID: i})
 		}, nil
 	case "dctl":
 		return func(i int, clock *gclock.Clock) stm.System {
-			return dctl.New(dctl.Config{LockTableSize: o.LockTable, Clock: clock, OnCommit: streams[i]})
+			return dctl.New(dctl.Config{LockTableSize: o.LockTable, Clock: clock, OnCommit: streams[i], Obs: o.Rec, ObsID: i})
 		}, nil
 	}
 	return nil, fmt.Errorf("wal: backend %q cannot carry a log (want multiverse, multiverse-eager, tl2 or dctl)", o.Backend)
@@ -382,6 +393,8 @@ type Log struct {
 	perDS   []ds.Map // each shard's raw structure (checkpoint scans)
 	streams []*stream
 	snapThs []stm.SnapshotThread // checkpointer's per-shard pinned readers
+
+	rec *obs.Recorder // flight recorder (nil-safe); copied from Options.Rec
 
 	severed    atomic.Bool
 	closedFlag atomic.Bool // mirrors closed for lock-free reads (stall loops)
@@ -455,7 +468,7 @@ func OpenWith(opts Options) (m ds.Map, l *Log, err error) {
 		return nil, nil, err
 	}
 
-	l = &Log{opts: opts, fs: fsys, stopFlush: make(chan struct{})}
+	l = &Log{opts: opts, fs: fsys, rec: opts.Rec, stopFlush: make(chan struct{})}
 	l.recoveredPairs = len(rec.image)
 	l.recoveredTs = rec.ckptTs
 	l.lastCkptTs.Store(rec.ckptTs)
@@ -541,7 +554,60 @@ func OpenWith(opts Options) (m ds.Map, l *Log, err error) {
 	l.flushWG.Add(1)
 	go l.flushLoop()
 
+	if opts.Obs != nil {
+		l.RegisterObs(opts.Obs)
+	}
 	return &Map{inner: l.inner, log: l}, l, nil
+}
+
+// RegisterObs exposes the log and its sharded TM system on reg as live
+// collector callbacks: snapshots read the same atomics Stats() and
+// ShardStats() read, so there is no hot-path double counting. OpenWith calls
+// it when Options.Obs is set; a server layering its own registry over an
+// already-open log may call it directly.
+func (l *Log) RegisterObs(reg *obs.Registry) {
+	reg.Text(func(emit func(name, v string)) {
+		emit("wal.health", l.Health().String())
+	})
+	reg.Func(func(emit func(name string, v uint64)) {
+		st := l.Stats()
+		emit("wal.records", st.Records)
+		emit("wal.bytes_appended", st.BytesAppended)
+		emit("wal.fsyncs", st.Fsyncs)
+		emit("wal.dropped_appends", st.DroppedAppends)
+		emit("wal.checkpoints", st.Checkpoints)
+		emit("wal.last_ckpt_ts", st.LastCkptTs)
+		emit("wal.last_ckpt_pause_ns", uint64(st.LastCkptPause))
+		emit("wal.retained", st.Retained)
+		emit("wal.flush_failures", st.FlushFailures)
+		emit("wal.degradations", st.Degradations)
+		emit("wal.degraded_time_ns", uint64(st.DegradedTime))
+		emit("wal.poisoned_segs", st.PoisonedSegs)
+		emit("wal.rejected_ops", st.RejectedOps)
+		RegisterShardStats(emit, l.sys)
+	})
+}
+
+// RegisterShardStats emits the sharded system's per-shard TM counters and
+// the aggregated abort-reason breakdown under flat dotted names. Shared by
+// the wal and server registrations (duplicate emissions over one registry
+// agree; the later one wins).
+func RegisterShardStats(emit func(name string, v uint64), sys *shard.System) {
+	emit("shard.freezes", sys.Freezes())
+	var total stm.Stats
+	for i, ss := range sys.ShardStats() {
+		prefix := fmt.Sprintf("shard.%d.", i)
+		emit(prefix+"commits", ss.Commits)
+		emit(prefix+"aborts", ss.Aborts)
+		emit(prefix+"starved", ss.Starved)
+		emit(prefix+"read_only_commits", ss.ReadOnlyCommits)
+		emit(prefix+"versioned_commits", ss.VersionedCommits)
+		emit(prefix+"mode_switches", ss.ModeSwitches)
+		total.Add(ss)
+	}
+	for r, n := range total.AbortReasons {
+		emit("aborts.reason."+obs.AbortReason(r).String(), n)
+	}
 }
 
 // bulkLoad installs image into the fresh system, batching keys per shard so
@@ -652,6 +718,7 @@ func (l *Log) Sync() error {
 // Recovery is exercised by reopening the directory.
 func (l *Log) Crash() {
 	l.severed.Store(true)
+	l.rec.Record(obs.EvWalSevered, 0, 0, 0)
 }
 
 // Err aggregates the current I/O error of every stream (errors.Join; nil
