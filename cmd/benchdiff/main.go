@@ -1,16 +1,20 @@
-// Command benchdiff guards the bench JSON schema: it compares the field set
-// of a fresh `multibench -json` run against a committed baseline and fails
-// when a field the baseline promises has disappeared.
+// Command benchdiff guards the bench JSON contract: it compares a fresh
+// `multibench -json` run against a committed baseline on two axes.
 //
 //	multibench -exp fig1 -dur 50ms -trials 1 -json new.jsonl
 //	benchdiff -seed BENCH_seed.json -new new.jsonl
 //
-// Dashboards and CI artifact consumers key on field names; a renamed or
-// dropped field silently zeroes their plots. benchdiff turns that into a
-// red build instead. Extra fields in the new run are reported but allowed —
-// adding telemetry is forward-compatible, removing it is not. Numeric
-// values are deliberately not compared: quick-scale throughput numbers are
-// noise, the schema is the contract.
+// Schema: a field the baseline promises that disappears from the new run
+// fails the build — dashboards and CI artifact consumers key on field names,
+// and a renamed or dropped field silently zeroes their plots. Extra fields
+// are reported but allowed (adding telemetry is forward-compatible).
+//
+// Throughput: records are matched by their configuration fields (tm, ds,
+// threads, shards, ...) and ops_per_sec is compared. A matched config whose
+// new throughput falls more than -tol (default 25%) below the baseline gets
+// a REGRESSION warning; with -strict those warnings fail the build. The
+// default is warn-only because quick-scale CI numbers are noisy — -strict is
+// for long-duration runs on quiet machines, where a 25% drop means code.
 package main
 
 import (
@@ -20,36 +24,48 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
+
+// configFields identify one benchmark configuration across runs; everything
+// else in a record is a measurement.
+var configFields = []string{
+	"tm", "ds", "threads", "updaters", "shards", "prefill", "zipf",
+	"size_queries", "persist", "server_conns", "server_depth", "server_ack",
+	"replica_mode",
+}
 
 func main() {
 	seedPath := flag.String("seed", "BENCH_seed.json", "baseline JSONL from a committed multibench -json run")
 	newPath := flag.String("new", "", "fresh multibench -json output to check (required)")
+	tol := flag.Float64("tol", 0.25, "allowed fractional ops_per_sec drop before a regression warning")
+	strict := flag.Bool("strict", false, "exit nonzero on throughput regressions, not just missing fields")
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
 		os.Exit(2)
 	}
 
-	seed, err := fieldSet(*seedPath)
+	seedRecs, err := readRecords(*seedPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: seed: %v\n", err)
 		os.Exit(2)
 	}
-	got, err := fieldSet(*newPath)
+	newRecs, err := readRecords(*newPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: new: %v\n", err)
 		os.Exit(2)
 	}
-	if len(seed) == 0 {
+	if len(seedRecs) == 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: seed %s has no records\n", *seedPath)
 		os.Exit(2)
 	}
-	if len(got) == 0 {
+	if len(newRecs) == 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: new run %s has no records\n", *newPath)
 		os.Exit(1)
 	}
 
+	seed, got := fieldSet(seedRecs), fieldSet(newRecs)
 	var missing, added []string
 	for f := range seed {
 		if !got[f] {
@@ -66,25 +82,60 @@ func main() {
 	for _, f := range added {
 		fmt.Printf("benchdiff: new field %q (not in baseline — fine; commit a refreshed seed to promise it)\n", f)
 	}
+
+	// Throughput comparison over configs present in both runs. Multiple
+	// baseline records per config (repeated sweeps) keep the best one: the
+	// machine's demonstrated capability is the fairest bar.
+	base := map[string]float64{}
+	for _, r := range seedRecs {
+		if ops := numField(r, "ops_per_sec"); ops > 0 {
+			k := configKey(r)
+			if ops > base[k] {
+				base[k] = ops
+			}
+		}
+	}
+	regressions, compared := 0, 0
+	for _, r := range newRecs {
+		ops := numField(r, "ops_per_sec")
+		k := configKey(r)
+		want, ok := base[k]
+		if !ok || ops <= 0 {
+			continue
+		}
+		compared++
+		if ops < want*(1-*tol) {
+			regressions++
+			fmt.Printf("benchdiff: REGRESSION %s: ops_per_sec %.0f vs baseline %.0f (-%.0f%%)\n",
+				k, ops, want, 100*(1-ops/want))
+		}
+	}
+
+	code := 0
 	if len(missing) > 0 {
 		for _, f := range missing {
 			fmt.Printf("benchdiff: MISSING field %q promised by %s\n", f, *seedPath)
 		}
-		os.Exit(1)
+		code = 1
 	}
-	fmt.Printf("benchdiff: ok — %d baseline fields all present\n", len(seed))
+	if regressions > 0 && *strict {
+		code = 1
+	}
+	if code == 0 {
+		fmt.Printf("benchdiff: ok — %d baseline fields present, %d configs compared, %d regressions\n",
+			len(seed), compared, regressions)
+	}
+	os.Exit(code)
 }
 
-// fieldSet returns the union of JSON field names over every record in a
-// JSONL file. Union, not intersection: multibench emits one record shape,
-// and a torn final line should fail loudly rather than shrink the set.
-func fieldSet(path string) (map[string]bool, error) {
+// readRecords parses a JSONL file into one map per line.
+func readRecords(path string) ([]map[string]json.RawMessage, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	fields := make(map[string]bool)
+	var recs []map[string]json.RawMessage
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	line := 0
@@ -97,9 +148,38 @@ func fieldSet(path string) (map[string]bool, error) {
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
 		}
+		recs = append(recs, rec)
+	}
+	return recs, sc.Err()
+}
+
+// fieldSet returns the union of field names over every record. Union, not
+// intersection: multibench emits one record shape, and a torn final line
+// should fail loudly rather than shrink the set.
+func fieldSet(recs []map[string]json.RawMessage) map[string]bool {
+	fields := make(map[string]bool)
+	for _, rec := range recs {
 		for k := range rec {
 			fields[k] = true
 		}
 	}
-	return fields, sc.Err()
+	return fields
+}
+
+// configKey renders a record's configuration fields as a stable string.
+// Absent omitempty fields render as empty, which matches across runs.
+func configKey(rec map[string]json.RawMessage) string {
+	parts := make([]string, 0, len(configFields))
+	for _, f := range configFields {
+		parts = append(parts, f+"="+strings.Trim(string(rec[f]), `"`))
+	}
+	return strings.Join(parts, " ")
+}
+
+func numField(rec map[string]json.RawMessage, name string) float64 {
+	var v float64
+	if raw, ok := rec[name]; ok {
+		json.Unmarshal(raw, &v) //nolint:errcheck // absent/malformed → 0, skipped
+	}
+	return v
 }

@@ -53,6 +53,8 @@ func main() {
 	obsAddr := flag.String("obs", "", "HTTP observability listen address: /debug/obs JSON, /debug/obs/events, /debug/pprof (empty = off)")
 	statsEvery := flag.Duration("stats-every", 0, "emit a periodic stats log line at this interval (0 = off)")
 	ringSize := flag.Int("obs-ring", obs.DefaultRingSize, "flight-recorder ring capacity (events)")
+	traceEvery := flag.Int("trace-every", 0, "sample every Nth request for end-to-end tracing (0 = off)")
+	traceRing := flag.Int("trace-ring", obs.DefaultRingSize, "trace span ring capacity")
 	flag.Parse()
 
 	if *dir == "" {
@@ -72,9 +74,13 @@ func main() {
 
 	reg := obs.NewRegistry()
 	rec := obs.NewRecorder(*ringSize)
+	var tr *obs.Tracer
+	if *traceEvery > 0 {
+		tr = obs.NewTracer(*traceRing, *traceEvery, reg)
+	}
 	m, l, err := wal.OpenWith(wal.Options{
 		Dir: *dir, Backend: *tm, Shards: *shards, DS: *dsName, Policy: pol,
-		Obs: reg, Rec: rec,
+		Obs: reg, Rec: rec, Trace: tr,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stmserve: open log: %v\n", err)
@@ -88,7 +94,7 @@ func main() {
 		os.Exit(1)
 	}
 	srv := server.New(l.System(), m, l, server.Options{
-		Workers: *workers, Ack: ackPol, Obs: reg, Rec: rec,
+		Workers: *workers, Ack: ackPol, Obs: reg, Rec: rec, Trace: tr,
 	})
 	srv.Start(ln)
 	var shipSvc *replica.ShipService
@@ -111,7 +117,7 @@ func main() {
 			l.Close()
 			os.Exit(1)
 		}
-		go http.Serve(obsLn, obs.Handler(reg, rec))
+		go http.Serve(obsLn, obs.Handler(reg, rec, tr))
 		fmt.Printf("stmserve obs on %s\n", obsLn.Addr())
 	}
 	fmt.Printf("stmserve listening on %s\n", srv.Addr())

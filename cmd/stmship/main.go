@@ -25,6 +25,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -43,6 +44,8 @@ func main() {
 	workers := flag.Int("workers", 2, "read-server execution pool size")
 	promote := flag.Bool("promote-on-exit", false, "promote the replica to a leader log on shutdown")
 	statsEvery := flag.Duration("stats-every", 0, "emit a periodic applied-ts/lag log line at this interval (0 = off)")
+	trace := flag.Bool("trace", false, "record replica-apply spans for transactions the leader sampled")
+	traceRing := flag.Int("trace-ring", obs.DefaultRingSize, "trace span ring capacity")
 	flag.Parse()
 
 	if *dir == "" {
@@ -54,6 +57,9 @@ func main() {
 	// tails whatever has arrived. Redial on session death: a torn frame
 	// kills the session by design, and the manifest resync on reconnect
 	// completes the transfer.
+	// Shipping sessions come and go across redials; the latest clock-offset
+	// estimate outlives any one Receiver in this holder.
+	var clockOff atomic.Int64
 	stopShip := make(chan struct{})
 	shipDone := make(chan struct{})
 	if *leader != "" {
@@ -76,6 +82,7 @@ func main() {
 					continue
 				}
 				rc := replica.NewReceiver(conn, *dir)
+				rc.OnClock = func(off int64) { clockOff.Store(off) }
 				go func() {
 					<-stopShip
 					rc.Stop()
@@ -91,9 +98,13 @@ func main() {
 
 	reg := obs.NewRegistry()
 	rec := obs.NewRecorder(obs.DefaultRingSize)
+	var tr *obs.Tracer
+	if *trace {
+		tr = obs.NewTracer(*traceRing, 1, reg)
+	}
 	r, err := replica.Open(replica.Options{
 		Dir: *dir, Backend: *tm, Shards: *shards, DS: *dsName,
-		Obs: reg, Rec: rec,
+		Obs: reg, Rec: rec, Trace: tr, ClockOffsetNs: clockOff.Load,
 	})
 	if err != nil {
 		close(stopShip)
@@ -114,7 +125,7 @@ func main() {
 		// and ReadOnly refuses updates on the wire before execution.
 		srv = server.New(r.System(), r.Map(), nil, server.Options{
 			Workers: *workers, Ack: server.AckCommit, ReadOnly: true,
-			Obs: reg, Rec: rec,
+			Obs: reg, Rec: rec, Trace: tr,
 		})
 		srv.Start(ln)
 		fmt.Printf("stmship listening on %s\n", srv.Addr())

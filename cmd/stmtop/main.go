@@ -1,7 +1,9 @@
 // Command stmtop is a live terminal dashboard over a running stmserve (or a
 // saved snapshot file): per-shard commit throughput, abort-reason breakdown,
-// WAL health and fsync activity, per-op latency quantiles, and replica lag
-// when the target is a follower.
+// WAL health and fsync activity, per-op latency quantiles, replica lag when
+// the target is a follower, and — when the server samples traces
+// (-trace-every) — a per-stage latency-attribution pane over the
+// trace.stage.* histograms.
 //
 //	stmtop -addr 127.0.0.1:7707            # poll a live server over OpStats
 //	stmtop -file snapshot.json -once       # render one saved snapshot
@@ -30,6 +32,7 @@ func main() {
 	file := flag.String("file", "", "render a saved snapshot JSON file instead of polling")
 	every := flag.Duration("every", time.Second, "poll/redraw interval in live mode")
 	once := flag.Bool("once", false, "render one frame and exit (no screen clearing)")
+	timeout := flag.Duration("timeout", 5*time.Second, "bound on each stats fetch in live mode")
 	flag.Parse()
 
 	if (*addr == "") == (*file == "") {
@@ -42,10 +45,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stmtop: %v\n", err)
 		os.Exit(1)
 	}
+	if *addr != "" {
+		fetch = withTimeout(fetch, *timeout)
+	}
 
 	cur, err := fetch()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stmtop: %v\n", err)
+		os.Exit(1)
+	}
+	if cur.Version == 0 {
+		// A snapshot that unmarshalled but carries no version is not a
+		// server snapshot at all (empty blob from a severed peer, truncated
+		// file): fail loudly instead of rendering a blank dashboard.
+		fmt.Fprintln(os.Stderr, "stmtop: empty snapshot (no version field) — server unreachable or severed?")
 		os.Exit(1)
 	}
 	if *once || *file != "" {
@@ -83,6 +96,29 @@ func newFetcher(addr, file string) (func() (obs.Snapshot, error), error) {
 		return nil, err
 	}
 	return cl.Stats, nil
+}
+
+// withTimeout bounds a fetch: a peer that accepts the connection but never
+// answers the wire protocol (wrong port, hung or severed server) must
+// surface as a transport error on stderr, not an indefinite hang.
+func withTimeout(fetch func() (obs.Snapshot, error), d time.Duration) func() (obs.Snapshot, error) {
+	type result struct {
+		snap obs.Snapshot
+		err  error
+	}
+	return func() (obs.Snapshot, error) {
+		ch := make(chan result, 1)
+		go func() {
+			snap, err := fetch()
+			ch <- result{snap, err}
+		}()
+		select {
+		case r := <-ch:
+			return r.snap, r.err
+		case <-time.After(d):
+			return obs.Snapshot{}, fmt.Errorf("no stats response within %v (not a stmserve wire port, or server hung?)", d)
+		}
+	}
 }
 
 // rate formats a counter delta as a per-second rate; with no previous
@@ -154,6 +190,25 @@ func render(cur, prev obs.Snapshot, dt time.Duration) {
 		for _, name := range ops {
 			h := cur.Hists[name]
 			fmt.Printf("%-10s %10d %10s %10s %10s\n", strings.TrimPrefix(name, "server.lat."),
+				h.Count, time.Duration(h.P50), time.Duration(h.P99), time.Duration(h.Max))
+		}
+	}
+
+	// Per-stage latency attribution from sampled traces (present only when
+	// the server runs with -trace-every > 0).
+	var stages []string
+	for name, h := range cur.Hists {
+		if strings.HasPrefix(name, "trace.stage.") && h.Count > 0 {
+			stages = append(stages, name)
+		}
+	}
+	if len(stages) > 0 {
+		sort.Strings(stages)
+		fmt.Printf("\ntrace stage breakdown (sampled requests):\n")
+		fmt.Printf("%-14s %10s %10s %10s %10s\n", "stage", "count", "p50", "p99", "max")
+		for _, name := range stages {
+			h := cur.Hists[name]
+			fmt.Printf("%-14s %10d %10s %10s %10s\n", strings.TrimPrefix(name, "trace.stage."),
 				h.Count, time.Duration(h.P50), time.Duration(h.P99), time.Duration(h.Max))
 		}
 	}

@@ -133,6 +133,10 @@ func (t *thread) ReadOnly(fn func(stm.Txn)) bool { return t.run(fn, true) }
 // Unregister implements stm.Thread.
 func (t *thread) Unregister() { t.ebr.Unregister() }
 
+// SetTrace implements stm.TraceSetter: it plants a tracing context on the
+// thread's transaction so the retry loop emits per-attempt spans.
+func (t *thread) SetTrace(tr *obs.Tracer, id uint64) { t.txn.SetTrace(tr, id) }
+
 // snapshotAttempts bounds SnapshotAt retries; see the tl2 analogue — DCTL
 // also keeps no versions, so pinned-clock aborts are usually permanent.
 const snapshotAttempts = 3
@@ -157,14 +161,17 @@ func (t *thread) SnapshotAt(ts uint64, fn func(stm.Txn)) bool {
 		t.ebr.Unpin()
 		switch oc {
 		case stm.Committed:
+			tx.TraceAttempt(uint64(t.sys.cfg.ObsID), attempt, 0)
 			tx.RunCommit(t.ebr.Retire)
 			t.ctr.Commits.Add(1)
 			t.ctr.ReadOnlyCommits.Add(1)
 			return true
 		case stm.Cancelled:
+			tx.TraceAttempt(uint64(t.sys.cfg.ObsID), attempt, uint64(tx.reason)+1)
 			tx.rollback()
 			return false
 		}
+		tx.TraceAttempt(uint64(t.sys.cfg.ObsID), attempt, uint64(tx.reason)+1)
 		tx.rollback()
 		t.ctr.Aborts.Add(1)
 		t.ctr.AbortReasons[tx.reason].Add(1)
@@ -192,6 +199,7 @@ func (t *thread) run(fn func(stm.Txn), readOnly bool) bool {
 		t.ebr.Unpin()
 		switch oc {
 		case stm.Committed:
+			tx.TraceAttempt(uint64(t.sys.cfg.ObsID), attempt, 0)
 			tx.RunCommit(t.ebr.Retire)
 			t.ctr.Commits.Add(1)
 			if readOnly {
@@ -199,9 +207,11 @@ func (t *thread) run(fn func(stm.Txn), readOnly bool) bool {
 			}
 			return true
 		case stm.Cancelled:
+			tx.TraceAttempt(uint64(t.sys.cfg.ObsID), attempt, uint64(tx.reason)+1)
 			tx.rollback()
 			return false
 		}
+		tx.TraceAttempt(uint64(t.sys.cfg.ObsID), attempt, uint64(tx.reason)+1)
 		tx.rollback()
 		t.ctr.Aborts.Add(1)
 		t.ctr.AbortReasons[tx.reason].Add(1)
@@ -232,10 +242,12 @@ func (t *thread) runIrrevocable(fn func(stm.Txn), readOnly bool) bool {
 		panic("dctl: irrevocable transaction aborted")
 	}
 	if oc == stm.Cancelled {
+		tx.TraceAttempt(uint64(sys.cfg.ObsID), sys.cfg.IrrevocableAfter+1, uint64(tx.reason)+1)
 		tx.rollback()
 		sys.irrev.Store(0)
 		return false
 	}
+	tx.TraceAttempt(uint64(sys.cfg.ObsID), sys.cfg.IrrevocableAfter+1, 0)
 	tx.RunCommit(t.ebr.Retire)
 	sys.irrev.Store(0)
 	t.ctr.Commits.Add(1)
@@ -248,6 +260,7 @@ func (t *thread) runIrrevocable(fn func(stm.Txn), readOnly bool) bool {
 
 func (tx *txn) begin(readOnly, irrevocable bool) {
 	tx.Reset()
+	tx.TraceBegin()
 	tx.readOnly = readOnly
 	tx.irrevocable = irrevocable
 	tx.reason = obs.ReasonUnknown
@@ -391,7 +404,7 @@ func (tx *txn) commit() {
 	// under the write locks.
 	if co := tx.t.sys.cfg.OnCommit; co != nil {
 		if redo := tx.Redo(); len(redo) > 0 {
-			co.ObserveCommit(commitClock, redo)
+			co.ObserveCommit(commitClock, tx.TraceID(), redo)
 		}
 	}
 	for _, l := range tx.locked {

@@ -49,6 +49,7 @@ func (t *Thread) SnapshotAt(ts uint64, fn func(stm.Txn)) bool {
 		t.ebr.Unpin()
 		switch oc {
 		case stm.Committed:
+			tx.TraceAttempt(uint64(t.sys.cfg.ObsID), attempt, 0)
 			t.slot.localModeCounter.Store(idleCounter)
 			tx.RunCommit(t.ebr.Retire)
 			t.ctr.Commits.Add(1)
@@ -58,10 +59,12 @@ func (t *Thread) SnapshotAt(ts uint64, fn func(stm.Txn)) bool {
 			}
 			return true
 		case stm.Cancelled:
+			tx.TraceAttempt(uint64(t.sys.cfg.ObsID), attempt, uint64(tx.reason)+1)
 			tx.abortCleanup()
 			t.slot.localModeCounter.Store(idleCounter)
 			return false
 		}
+		tx.TraceAttempt(uint64(t.sys.cfg.ObsID), attempt, uint64(tx.reason)+1)
 		tx.abortCleanup()
 		t.slot.localModeCounter.Store(idleCounter)
 		t.ctr.Aborts.Add(1)

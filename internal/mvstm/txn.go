@@ -83,6 +83,10 @@ func (t *Thread) Unregister() {
 	t.vltCache.drain()
 }
 
+// SetTrace implements stm.TraceSetter: it plants a tracing context on the
+// thread's transaction so the retry loop emits per-attempt spans.
+func (t *Thread) SetTrace(tr *obs.Tracer, id uint64) { t.txn.SetTrace(tr, id) }
+
 func (t *Thread) run(fn func(stm.Txn), readOnly, si bool) bool {
 	tx := &t.txn
 	sys := t.sys
@@ -102,6 +106,7 @@ func (t *Thread) run(fn func(stm.Txn), readOnly, si bool) bool {
 		t.ebr.Unpin()
 		switch oc {
 		case stm.Committed:
+			tx.TraceAttempt(uint64(sys.cfg.ObsID), attempt, 0)
 			t.slot.localModeCounter.Store(idleCounter)
 			tx.RunCommit(t.ebr.Retire)
 			// Closure-free eventual frees: the versions this commit
@@ -120,10 +125,12 @@ func (t *Thread) run(fn func(stm.Txn), readOnly, si bool) bool {
 			}
 			return true
 		case stm.Cancelled:
+			tx.TraceAttempt(uint64(sys.cfg.ObsID), attempt, uint64(tx.reason)+1)
 			tx.abortCleanup()
 			t.slot.localModeCounter.Store(idleCounter)
 			return false
 		}
+		tx.TraceAttempt(uint64(sys.cfg.ObsID), attempt, uint64(tx.reason)+1)
 		tx.abortCleanup()
 		t.slot.localModeCounter.Store(idleCounter)
 		t.ctr.Aborts.Add(1)
@@ -177,6 +184,7 @@ func (tx *txn) begin(readOnly, versioned, si bool) {
 	t := tx.t
 	sys := t.sys
 	tx.Reset()
+	tx.TraceBegin()
 	tx.readOnly = readOnly
 	tx.versioned = versioned
 	tx.si = si
@@ -531,7 +539,7 @@ func (tx *txn) commit() {
 	// ahead of ours. Nothing between here and the releases can abort.
 	if co := sys.cfg.OnCommit; co != nil {
 		if redo := tx.Redo(); len(redo) > 0 {
-			co.ObserveCommit(commitClock, redo)
+			co.ObserveCommit(commitClock, tx.TraceID(), redo)
 		}
 	}
 	// Unset TBD markers with the commit clock, then release locks.

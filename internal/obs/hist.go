@@ -124,14 +124,49 @@ type HistSnapshot struct {
 }
 
 // Snapshot summarizes the histogram. Samples recorded concurrently may or
-// may not be included; the result is consistent enough for monitoring.
+// may not be included, but the bucket image is captured once and every
+// quantile is computed from that one image, so the reported quantiles are
+// mutually consistent (p50 ≤ p90 ≤ p99 ≤ p999 ≤ max) even mid-write —
+// walking the live buckets per quantile lets concurrent low-bucket arrivals
+// cross a high quantile's target early and invert the tail.
 func (h *Hist) Snapshot() HistSnapshot {
-	return HistSnapshot{
-		Count: h.Count(),
-		P50:   int64(h.Quantile(0.50)),
-		P90:   int64(h.Quantile(0.90)),
-		P99:   int64(h.Quantile(0.99)),
-		P999:  int64(h.Quantile(0.999)),
-		Max:   int64(h.Max()),
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		counts[i] = c
+		total += c
 	}
+	quantile := func(q float64) int64 {
+		target := uint64(q * float64(total))
+		if target >= total {
+			target = total - 1
+		}
+		var seen uint64
+		for i, c := range counts {
+			if c == 0 {
+				continue
+			}
+			seen += c
+			if seen > target {
+				return int64(histLow(i + 1))
+			}
+		}
+		return 0
+	}
+	snap := HistSnapshot{Count: total}
+	if total == 0 {
+		return snap
+	}
+	snap.P50 = quantile(0.50)
+	snap.P90 = quantile(0.90)
+	snap.P99 = quantile(0.99)
+	snap.P999 = quantile(0.999)
+	for i := histBuckets - 1; i >= 0; i-- {
+		if counts[i] != 0 {
+			snap.Max = int64(histLow(i + 1))
+			break
+		}
+	}
+	return snap
 }

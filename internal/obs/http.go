@@ -9,12 +9,14 @@ import (
 //
 //	/debug/obs         registry snapshot as JSON (expvar-style flat names)
 //	/debug/obs/events  flight-recorder dump as text
+//	/debug/obs/trace   tracer span ring as JSON
 //	/debug/pprof/...   net/http/pprof
 //	/                  redirects to /debug/obs
 //
-// reg must be non-nil; rec may be nil (the events endpoint then reports
-// that no recorder is attached).
-func Handler(reg *Registry, rec *Recorder) http.Handler {
+// reg must be non-nil; rec and tr may be nil (the events endpoint then
+// reports that no recorder is attached, and the trace endpoint serves a
+// valid empty document with every=0).
+func Handler(reg *Registry, rec *Recorder, tr *Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, req *http.Request) {
 		b, err := reg.JSON()
@@ -29,6 +31,16 @@ func Handler(reg *Registry, rec *Recorder) http.Handler {
 	mux.HandleFunc("/debug/obs/events", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		rec.Dump(w)
+	})
+	mux.HandleFunc("/debug/obs/trace", func(w http.ResponseWriter, req *http.Request) {
+		b, err := tr.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+		w.Write([]byte("\n"))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(64, 3, nil)
+	if tr.Every() != 3 {
+		t.Fatalf("Every = %d, want 3", tr.Every())
+	}
+	var ids []uint64
+	for i := 1; i <= 12; i++ {
+		id := tr.SampleID()
+		if (i%3 == 0) != (id != 0) {
+			t.Fatalf("call %d: id=%d — want nonzero exactly on multiples of 3", i, id)
+		}
+		if id != 0 {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) != 4 {
+		t.Fatalf("sampled %d of 12 calls, want 4", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("ids not increasing: %v", ids)
+		}
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(16, 1, nil)
+	for i := 1; i <= 40; i++ {
+		tr.Record(uint64(i), StageExecute, 7, int64(i*100), 50, uint64(i), 0)
+	}
+	if tr.Len() != 40 {
+		t.Fatalf("Len = %d, want 40", tr.Len())
+	}
+	spans := tr.Spans()
+	if len(spans) != 16 {
+		t.Fatalf("ring holds %d spans, want 16", len(spans))
+	}
+	for i, sp := range spans {
+		want := uint64(25 + i) // seqs 25..40 survive; 1..24 overwritten
+		if sp.Seq != want || sp.Trace != want || sp.A != want {
+			t.Fatalf("span %d: seq=%d trace=%d a=%d, want all %d", i, sp.Seq, sp.Trace, sp.A, want)
+		}
+		if sp.Stage != StageExecute || sp.Src != 7 || sp.StartNs != int64(want*100) || sp.DurNs != 50 {
+			t.Fatalf("span %d payload diverged: %+v", i, sp)
+		}
+	}
+}
+
+func TestTracerRecordUnsampledNoop(t *testing.T) {
+	tr := NewTracer(16, 2, nil)
+	tr.Record(0, StageExecute, 0, 1, 1, 0, 0)
+	if tr.Len() != 0 || len(tr.Spans()) != 0 {
+		t.Fatal("id 0 must not record")
+	}
+}
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.SampleID() != 0 || tr.Every() != 0 || tr.Len() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer must sample and hold nothing")
+	}
+	tr.Record(1, StageExecute, 0, 1, 1, 0, 0) // must not panic
+	d := tr.Dump()
+	if d.Version != TraceVersion || d.Every != 0 || d.Spans == nil || len(d.Spans) != 0 {
+		t.Fatalf("nil Dump = %+v, want valid empty document", d)
+	}
+	if _, err := tr.JSON(); err != nil {
+		t.Fatalf("nil JSON: %v", err)
+	}
+}
+
+func TestStageNamesRoundTrip(t *testing.T) {
+	for st := Stage(1); int(st) < NumStages; st++ {
+		name := st.String()
+		if name == "stage(?)" {
+			t.Fatalf("stage %d has no name", st)
+		}
+		got, ok := StageByName(name)
+		if !ok || got != st {
+			t.Fatalf("StageByName(%q) = %v, %v; want %v", name, got, ok, st)
+		}
+	}
+	if _, ok := StageByName("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestTracerDumpAndHists(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(64, 1, reg)
+	tr.Record(5, StageDecode, 1, 100, 10, 42, 0)
+	tr.Record(5, StageExecute, 1, 110, 20, 42, 0)
+	tr.Record(5, StageAttempt, 0, 110, 15, 1, 0)
+
+	b, err := tr.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var d TraceDump
+	if err := json.Unmarshal(b, &d); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if d.Version != TraceVersion || d.Every != 1 || len(d.Spans) != 3 {
+		t.Fatalf("dump = v%d every=%d %d spans", d.Version, d.Every, len(d.Spans))
+	}
+	if d.Spans[1].Stage != "execute" || d.Spans[1].Trace != 5 || d.Spans[1].DurNs != 20 || d.Spans[1].A != 42 {
+		t.Fatalf("span 1 diverged: %+v", d.Spans[1])
+	}
+
+	snap := reg.Snapshot()
+	if h, ok := snap.Hists["trace.stage.execute"]; !ok || h.Count != 1 {
+		t.Fatalf("trace.stage.execute hist = %+v, %v", snap.Hists["trace.stage.execute"], ok)
+	}
+	if h := snap.Hists["trace.stage.attempt"]; h.Count != 1 {
+		t.Fatalf("trace.stage.attempt count = %d", h.Count)
+	}
+}
+
+// TestTraceOverheadAllocs pins the hot paths at zero allocations: both the
+// tracing-off path (nil tracer — what every request pays when -trace-every
+// is 0) and the active sampling/recording path.
+func TestTraceOverheadAllocs(t *testing.T) {
+	var off *Tracer
+	if n := testing.AllocsPerRun(1000, func() {
+		if id := off.SampleID(); id != 0 {
+			off.Record(id, StageExecute, 0, 0, 0, 0, 0)
+		}
+	}); n != 0 {
+		t.Fatalf("tracing-off path allocates %.1f/op", n)
+	}
+	on := NewTracer(1024, 1, nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		id := on.SampleID()
+		on.Record(id, StageExecute, 3, 100, 10, 1, 0)
+	}); n != 0 {
+		t.Fatalf("recording path allocates %.1f/op", n)
+	}
+}
+
+// BenchmarkTraceOverhead prices the sampling-off hot path against the
+// baseline: request dispatch with no tracer must stay within noise (≤5%)
+// of dispatch before tracing existed, since the nil check is all it adds.
+func BenchmarkTraceOverhead(b *testing.B) {
+	sink := uint64(0)
+	b.Run("baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += uint64(i)
+		}
+	})
+	b.Run("off", func(b *testing.B) {
+		var tr *Tracer
+		for i := 0; i < b.N; i++ {
+			sink += uint64(i)
+			if id := tr.SampleID(); id != 0 {
+				tr.Record(id, StageExecute, 0, 0, 0, 0, 0)
+			}
+		}
+	})
+	b.Run("sampling-1-in-1024", func(b *testing.B) {
+		tr := NewTracer(4096, 1024, nil)
+		for i := 0; i < b.N; i++ {
+			sink += uint64(i)
+			if id := tr.SampleID(); id != 0 {
+				tr.Record(id, StageExecute, 0, 0, 0, 0, 0)
+			}
+		}
+	})
+	b.Run("sampling-all", func(b *testing.B) {
+		tr := NewTracer(4096, 1, nil)
+		for i := 0; i < b.N; i++ {
+			sink += uint64(i)
+			tr.Record(tr.SampleID(), StageExecute, 0, 0, 0, 0, 0)
+		}
+	})
+	_ = sink
+}

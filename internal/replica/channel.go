@@ -54,7 +54,14 @@ const (
 	frameTruncate = 3 // leader -> follower: u16 pathLen | path | u64 size
 	frameDelete   = 4 // leader -> follower: u16 pathLen | path
 	frameAck      = 5 // follower -> leader: u64 cumulative sequence
+	frameClock    = 6 // leader -> follower: u64 leader wall clock (UnixNano)
 )
+
+// clockInterval is how often a Shipper restates its wall clock. The
+// follower keeps the minimum observed (recvLocal - leaderSent) delta as its
+// clock-offset estimate — offset plus minimum one-way latency — which is
+// what shifts replica-apply spans into the leader's timebase.
+const clockInterval = 200 * time.Millisecond
 
 // ShipperOptions tunes the leader side of the channel.
 type ShipperOptions struct {
@@ -139,11 +146,21 @@ func (s *Shipper) Run() error {
 	}
 	ackErr := make(chan error, 1)
 	go s.readAcks(ackErr)
+	if err := s.sendClock(); err != nil {
+		return s.finish(err)
+	}
+	lastClock := time.Now()
 	tick := time.NewTicker(s.opts.Interval)
 	defer tick.Stop()
 	for {
 		if err := s.round(); err != nil {
 			return s.finish(err)
+		}
+		if time.Since(lastClock) >= clockInterval {
+			if err := s.sendClock(); err != nil {
+				return s.finish(err)
+			}
+			lastClock = time.Now()
 		}
 		select {
 		case <-s.stop:
@@ -344,6 +361,16 @@ func (s *Shipper) sendDelete(rel string) error {
 	return s.send(appendPathHeader(nil, frameDelete, rel))
 }
 
+// sendClock restates the leader's wall clock (read as late as possible —
+// right before the frame is written — so queueing in send never inflates
+// the follower's offset estimate by more than the window stall).
+func (s *Shipper) sendClock() error {
+	payload := make([]byte, 9)
+	payload[0] = frameClock
+	binary.LittleEndian.PutUint64(payload[1:], uint64(time.Now().UnixNano()))
+	return s.send(payload)
+}
+
 // send waits for window space, then writes one frame.
 func (s *Shipper) send(payload []byte) error {
 	for s.seq.Load()-s.acked.Load() >= uint64(s.opts.Window) {
@@ -428,8 +455,16 @@ type Receiver struct {
 	dir  string
 	conn net.Conn
 
+	// OnClock, when set before Run, is called with the updated clock-offset
+	// estimate (ns, follower minus leader) after every clock frame. stmship
+	// uses it to publish the offset across redialed sessions.
+	OnClock func(offsetNs int64)
+
 	frames atomic.Uint64
 	bytes  atomic.Uint64
+
+	clockOff atomic.Int64
+	clockSet atomic.Bool
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -443,6 +478,12 @@ func NewReceiver(conn net.Conn, dir string) *Receiver {
 // Frames and Bytes report applied volume.
 func (r *Receiver) Frames() uint64 { return r.frames.Load() }
 func (r *Receiver) Bytes() uint64  { return r.bytes.Load() }
+
+// ClockOffsetNs returns the current clock-offset estimate (ns, follower
+// minus leader): the minimum (recvLocal - leaderSent) over every clock
+// frame this session, so it overestimates the true offset by at most the
+// minimum one-way latency. 0 until the first clock frame arrives.
+func (r *Receiver) ClockOffsetNs() int64 { return r.clockOff.Load() }
 
 // Stop terminates the session; Run returns shortly after.
 func (r *Receiver) Stop() {
@@ -542,6 +583,21 @@ func (r *Receiver) apply(payload []byte) error {
 		return fmt.Errorf("empty frame")
 	}
 	kind := payload[0]
+	if kind == frameClock {
+		if len(payload) != 9 {
+			return fmt.Errorf("bad clock frame (%d bytes)", len(payload))
+		}
+		sent := int64(binary.LittleEndian.Uint64(payload[1:]))
+		off := time.Now().UnixNano() - sent
+		if !r.clockSet.Load() || off < r.clockOff.Load() {
+			r.clockOff.Store(off)
+			r.clockSet.Store(true)
+		}
+		if r.OnClock != nil {
+			r.OnClock(r.clockOff.Load())
+		}
+		return nil
+	}
 	rel, p, err := parsePath(payload, 1)
 	if err != nil {
 		return err

@@ -114,6 +114,14 @@ type Options struct {
 	Obs *obs.Registry
 	// Rec, when set, receives rebase flight-recorder events.
 	Rec *obs.Recorder
+	// Trace, when set, receives one replica-apply span per applied record
+	// that carries a sampled trace id.
+	Trace *obs.Tracer
+	// ClockOffsetNs, when set, supplies the current follower-minus-leader
+	// clock-offset estimate (Receiver.ClockOffsetNs); apply spans subtract
+	// it so their start times land in the leader's timebase next to the
+	// originating request's server spans.
+	ClockOffsetNs func() int64
 }
 
 func (o *Options) fill(fsys fault.FS) error {
@@ -195,6 +203,7 @@ type Replica struct {
 	emptyPolls  atomic.Uint64
 
 	rec          *obs.Recorder
+	trace        *obs.Tracer
 	lastProgress atomic.Int64 // unix nanos of the last applied batch or caught-up poll
 
 	caughtUp atomic.Bool
@@ -229,6 +238,7 @@ func Open(opts Options) (*Replica, error) {
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 		rec:    opts.Rec,
+		trace:  opts.Trace,
 	}
 	r.lastProgress.Store(time.Now().UnixNano())
 	r.sys = shard.New(shard.Config{Shards: opts.Shards, Backend: backend})
@@ -495,6 +505,10 @@ func (r *Replica) applyRebase(th *shard.Thread, b *wal.ShipBatch) {
 // otherwise it splits into one transaction per shard group.
 func (r *Replica) applyRecs(th *shard.Thread, recs []wal.ShipRec) {
 	for _, rec := range recs {
+		var applyT0 int64
+		if rec.Trace != 0 && r.trace != nil {
+			applyT0 = time.Now().UnixNano()
+		}
 		if len(rec.Redo) > 0 {
 			home, same := r.sys.ShardOf(rec.Redo[0].Key), true
 			for _, op := range rec.Redo[1:] {
@@ -527,6 +541,15 @@ func (r *Replica) applyRecs(th *shard.Thread, recs []wal.ShipRec) {
 		r.appliedRecs.Add(1)
 		if rec.Ts > r.appliedTs.Load() {
 			r.appliedTs.Store(rec.Ts)
+		}
+		if applyT0 != 0 {
+			var off int64
+			if r.opts.ClockOffsetNs != nil {
+				off = r.opts.ClockOffsetNs()
+			}
+			end := time.Now().UnixNano()
+			r.trace.Record(rec.Trace, obs.StageReplicaApply, uint64(rec.Shard),
+				applyT0-off, end-applyT0, rec.Ts, uint64(off))
 		}
 	}
 	r.lastProgress.Store(time.Now().UnixNano())

@@ -261,6 +261,13 @@ func (cl *Client) StatsBlob() ([]byte, error) {
 	return resp.Blob, err
 }
 
+// TraceBlob fetches the server's sampled-trace span ring as raw JSON bytes
+// (the obs.Tracer dump; valid-but-empty with every=0 when tracing is off).
+func (cl *Client) TraceBlob() ([]byte, error) {
+	resp, err := cl.do(&wire.Request{Op: wire.OpTrace})
+	return resp.Blob, err
+}
+
 // Stats fetches and decodes the server's metrics snapshot.
 func (cl *Client) Stats() (obs.Snapshot, error) {
 	var snap obs.Snapshot

@@ -124,6 +124,13 @@ type Options struct {
 	Obs *obs.Registry
 	// Rec, when set, receives ack-batch flight-recorder events.
 	Rec *obs.Recorder
+	// Trace, when set, samples requests deterministically (every Nth frame
+	// per the tracer's configuration) and records per-stage spans — decode,
+	// queue-wait, execute, ack-stage, sync-wait, ack-write, total — into its
+	// ring. The sampled trace id is also threaded into the STM (per-attempt
+	// spans) and the WAL (append/coalesce/fsync spans) via stm.SetTrace and
+	// the commit observer. Nil disables tracing at zero cost.
+	Trace *obs.Tracer
 }
 
 func (o *Options) fill() {
@@ -155,13 +162,27 @@ type Stats struct {
 }
 
 type request struct {
-	c   *srvConn
-	raw []byte
+	c     *srvConn
+	raw   []byte
+	trace uint64 // sampled trace id (0: unsampled)
+	t0    int64  // frame-received ns, start of the request's server lifetime
 }
 
 type stagedAck struct {
-	c    *srvConn
-	resp wire.Response
+	c        *srvConn
+	resp     wire.Response
+	trace    uint64
+	t0       int64
+	stagedNs int64 // when the ack was parked, for the ack-stage span
+}
+
+// outFrame is one framed response plus the trace context the writer needs to
+// close out the ack-write and total spans.
+type outFrame struct {
+	b     []byte
+	trace uint64
+	t0    int64 // request's frame-received ns (total span start)
+	enqNs int64 // response enqueue ns (ack-write span start)
 }
 
 // Server serves the wire protocol over a sharded system. Updates are logged
@@ -205,7 +226,7 @@ type Server struct {
 }
 
 // maxOp is the highest wire.Op value the latency-histogram table covers.
-const maxOp = wire.OpStats
+const maxOp = wire.OpTrace
 
 // New builds a server over an already-open system. sys must be the system
 // the map m runs on (for a WAL-backed map, l.System()).
@@ -354,7 +375,7 @@ func (s *Server) acceptLoop() {
 		if s.opts.ConnFault != nil {
 			nc = s.opts.ConnFault.Conn(nc, fmt.Sprintf("srv-%d", s.connSeq.Add(1)))
 		}
-		c := &srvConn{s: s, nc: nc, outq: make(chan []byte, s.opts.OutboundDepth)}
+		c := &srvConn{s: s, nc: nc, outq: make(chan outFrame, s.opts.OutboundDepth)}
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
@@ -374,7 +395,7 @@ type srvConn struct {
 	s  *Server
 	nc net.Conn
 
-	outq      chan []byte
+	outq      chan outFrame
 	outMu     sync.Mutex
 	outClosed bool
 
@@ -401,8 +422,13 @@ func (s *Server) readLoop(c *srvConn) {
 		if len(raw) < 9 {
 			break // unparseable: no request id to answer under; sever
 		}
+		tid := s.opts.Trace.SampleID()
+		var t0 int64
+		if tid != 0 {
+			t0 = time.Now().UnixNano()
+		}
 		c.pending.Add(1)
-		s.reqq <- request{c: c, raw: raw}
+		s.reqq <- request{c: c, raw: raw, trace: tid, t0: t0}
 	}
 	deadline := time.Now().Add(s.opts.DrainTimeout)
 	for c.pending.Load() > 0 && time.Now().Before(deadline) {
@@ -425,18 +451,22 @@ func (s *Server) writeLoop(c *srvConn) {
 			continue // keep draining so finish() never blocks forever
 		}
 		c.nc.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
-		if _, err := c.nc.Write(f); err != nil {
+		if _, err := c.nc.Write(f.b); err != nil {
 			c.dead.Store(true)
+		} else if f.trace != 0 {
+			end := time.Now().UnixNano()
+			s.opts.Trace.Record(f.trace, obs.StageAckWrite, 0, f.enqNs, end-f.enqNs, 0, 0)
+			s.opts.Trace.Record(f.trace, obs.StageTotal, 0, f.t0, end-f.t0, 0, 0)
 		}
 	}
 }
 
 // finish enqueues one framed response and retires its request. Responses
 // after closeOut (a drain that timed out) are dropped.
-func (c *srvConn) finish(frame []byte) {
+func (c *srvConn) finish(f outFrame) {
 	c.outMu.Lock()
 	if !c.outClosed {
-		c.outq <- frame
+		c.outq <- f
 	}
 	c.outMu.Unlock()
 	c.pending.Add(-1)
@@ -465,26 +495,45 @@ func (s *Server) worker() {
 	defer s.workerWG.Done()
 	th := s.sys.Register()
 	defer th.Unregister()
+	var lastTrace uint64
 	for req := range s.reqq {
+		// Thread the sampled trace id into the STM hooks so per-attempt
+		// spans and the WAL's commit observer tag their records with it.
+		// Skipped entirely on the unsampled → unsampled fast path.
+		if req.trace != 0 || lastTrace != 0 {
+			stm.SetTrace(th, s.opts.Trace, req.trace)
+			lastTrace = req.trace
+		}
 		s.handle(th, req)
 	}
 }
 
-func (s *Server) respond(c *srvConn, resp *wire.Response) {
+func (s *Server) respond(c *srvConn, resp *wire.Response, trace uint64, t0 int64) {
 	payload := wire.AppendResponse(make([]byte, 0, 32), resp)
-	c.finish(wire.AppendFrame(make([]byte, 0, len(payload)+8), payload))
+	f := outFrame{
+		b:     wire.AppendFrame(make([]byte, 0, len(payload)+8), payload),
+		trace: trace, t0: t0,
+	}
+	if trace != 0 {
+		f.enqNs = time.Now().UnixNano()
+	}
+	c.finish(f)
 }
 
 // stage parks a committed update's response until the fsync covering its
 // commit completes (or sends it straight away under AckCommit / no log).
-func (s *Server) stage(c *srvConn, resp *wire.Response) {
+func (s *Server) stage(c *srvConn, resp *wire.Response, trace uint64, t0 int64) {
 	s.updates.Add(1)
 	if s.l == nil || s.opts.Ack == AckCommit {
-		s.respond(c, resp)
+		s.respond(c, resp, trace, t0)
 		return
 	}
+	var stagedNs int64
+	if trace != 0 {
+		stagedNs = time.Now().UnixNano()
+	}
 	s.ackMu.Lock()
-	s.staged = append(s.staged, stagedAck{c: c, resp: *resp})
+	s.staged = append(s.staged, stagedAck{c: c, resp: *resp, trace: trace, t0: t0, stagedNs: stagedNs})
 	s.ackMu.Unlock()
 	select {
 	case s.ackNotify <- struct{}{}:
@@ -508,21 +557,38 @@ func (s *Server) failStatus() wire.Status {
 
 func (s *Server) handle(th stm.Thread, req request) {
 	s.requests.Add(1)
+	var preParseNs int64
+	if req.trace != 0 {
+		preParseNs = time.Now().UnixNano()
+		s.opts.Trace.Record(req.trace, obs.StageQueueWait, 0, req.t0, preParseNs-req.t0, 0, 0)
+	}
 	r, perr := wire.ParseRequest(req.raw)
+	if req.trace != 0 {
+		// The decode span's a-field carries the wire request id — the hook a
+		// client uses to correlate its i-th request with a trace id.
+		now := time.Now().UnixNano()
+		s.opts.Trace.Record(req.trace, obs.StageDecode, uint64(r.Op), preParseNs, now-preParseNs, r.ID, 0)
+	}
 	resp := wire.Response{ID: r.ID, Op: r.Op}
 	if perr != nil {
 		resp.Status = wire.StatusBadRequest
-		s.respond(req.c, &resp)
+		s.respond(req.c, &resp, req.trace, req.t0)
 		return
 	}
 	// Per-op latency covers execution up to response enqueue (for updates,
 	// staging — ack-side fsync latency is the syncer's metric, not the
 	// op's). ~100ns of clock reads against a wire round trip is noise.
 	start := time.Now()
-	defer func() { s.opHist[r.Op].Record(time.Since(start)) }()
+	defer func() {
+		s.opHist[r.Op].Record(time.Since(start))
+		if req.trace != 0 {
+			s.opts.Trace.Record(req.trace, obs.StageExecute, uint64(r.Op),
+				start.UnixNano(), time.Since(start).Nanoseconds(), r.ID, 0)
+		}
+	}()
 	switch r.Op {
 	case wire.OpPing:
-		s.respond(req.c, &resp)
+		s.respond(req.c, &resp, req.trace, req.t0)
 	case wire.OpSearch:
 		v, found, ok := ds.Search(th, s.m, r.Key)
 		if !ok {
@@ -530,7 +596,7 @@ func (s *Server) handle(th stm.Thread, req request) {
 		} else {
 			resp.OK, resp.Val = found, v
 		}
-		s.respond(req.c, &resp)
+		s.respond(req.c, &resp, req.trace, req.t0)
 	case wire.OpRange:
 		count, sum, ok := ds.Range(th, s.m, r.Key, r.Val)
 		if !ok {
@@ -538,7 +604,7 @@ func (s *Server) handle(th stm.Thread, req request) {
 		} else {
 			resp.Count, resp.Sum = uint64(count), sum
 		}
-		s.respond(req.c, &resp)
+		s.respond(req.c, &resp, req.trace, req.t0)
 	case wire.OpSize:
 		n, ok := ds.Size(th, s.m)
 		if !ok {
@@ -546,16 +612,16 @@ func (s *Server) handle(th stm.Thread, req request) {
 		} else {
 			resp.Count = uint64(n)
 		}
-		s.respond(req.c, &resp)
+		s.respond(req.c, &resp, req.trace, req.t0)
 	case wire.OpInsert, wire.OpDelete:
 		if r.Key == 0 {
 			resp.Status = wire.StatusBadRequest
-			s.respond(req.c, &resp)
+			s.respond(req.c, &resp, req.trace, req.t0)
 			return
 		}
 		if st := s.refuseUpdate(); st != wire.StatusOK {
 			resp.Status = st
-			s.respond(req.c, &resp)
+			s.respond(req.c, &resp, req.trace, req.t0)
 			return
 		}
 		var res, ok bool
@@ -566,13 +632,13 @@ func (s *Server) handle(th stm.Thread, req request) {
 		}
 		if !ok {
 			resp.Status = s.failStatus()
-			s.respond(req.c, &resp)
+			s.respond(req.c, &resp, req.trace, req.t0)
 			return
 		}
 		resp.OK = res
-		s.stage(req.c, &resp)
+		s.stage(req.c, &resp, req.trace, req.t0)
 	case wire.OpBatch:
-		s.handleBatch(th, req.c, &r, &resp)
+		s.handleBatch(th, req, &r, &resp)
 	case wire.OpStats:
 		blob, err := s.reg.JSON()
 		if err != nil {
@@ -580,10 +646,18 @@ func (s *Server) handle(th stm.Thread, req request) {
 		} else {
 			resp.Blob = blob
 		}
-		s.respond(req.c, &resp)
+		s.respond(req.c, &resp, req.trace, req.t0)
+	case wire.OpTrace:
+		blob, err := s.opts.Trace.JSON()
+		if err != nil {
+			resp.Status = wire.StatusBadRequest
+		} else {
+			resp.Blob = blob
+		}
+		s.respond(req.c, &resp, req.trace, req.t0)
 	default:
 		resp.Status = wire.StatusBadRequest
-		s.respond(req.c, &resp)
+		s.respond(req.c, &resp, req.trace, req.t0)
 	}
 }
 
@@ -600,16 +674,17 @@ func (s *Server) refuseUpdate() wire.Status {
 	return wire.StatusOK
 }
 
-func (s *Server) handleBatch(th stm.Thread, c *srvConn, r *wire.Request, resp *wire.Response) {
+func (s *Server) handleBatch(th stm.Thread, req request, r *wire.Request, resp *wire.Response) {
+	c := req.c
 	if len(r.Batch) == 0 {
-		s.respond(c, resp) // empty transaction: trivially committed
+		s.respond(c, resp, req.trace, req.t0) // empty transaction: trivially committed
 		return
 	}
 	home := -1
 	for _, b := range r.Batch {
 		if b.Key == 0 {
 			resp.Status = wire.StatusBadRequest
-			s.respond(c, resp)
+			s.respond(c, resp, req.trace, req.t0)
 			return
 		}
 		sh := s.sys.ShardOf(b.Key)
@@ -619,13 +694,13 @@ func (s *Server) handleBatch(th stm.Thread, c *srvConn, r *wire.Request, resp *w
 			// Cross-shard update transactions do not exist (internal/shard
 			// panics on them); refuse before executing anything.
 			resp.Status = wire.StatusCrossShard
-			s.respond(c, resp)
+			s.respond(c, resp, req.trace, req.t0)
 			return
 		}
 	}
 	if st := s.refuseUpdate(); st != wire.StatusOK {
 		resp.Status = st
-		s.respond(c, resp)
+		s.respond(c, resp, req.trace, req.t0)
 		return
 	}
 	results := make([]bool, len(r.Batch))
@@ -641,11 +716,11 @@ func (s *Server) handleBatch(th stm.Thread, c *srvConn, r *wire.Request, resp *w
 	})
 	if !ok {
 		resp.Status = s.failStatus()
-		s.respond(c, resp)
+		s.respond(c, resp, req.trace, req.t0)
 		return
 	}
 	resp.Results = results
-	s.stage(c, resp)
+	s.stage(c, resp, req.trace, req.t0)
 }
 
 // --- group-commit syncer ---
@@ -676,6 +751,10 @@ func (s *Server) syncLoop() {
 }
 
 func (s *Server) releaseBatch(batch []stagedAck) {
+	var syncT0 int64
+	if s.opts.Trace != nil {
+		syncT0 = time.Now().UnixNano()
+	}
 	err := s.l.Sync()
 	st := wire.StatusOK
 	synced := uint64(1)
@@ -695,8 +774,21 @@ func (s *Server) releaseBatch(batch []stagedAck) {
 	}
 	s.syncRounds.Add(1)
 	s.rec.Record(obs.EvAckBatch, uint64(len(batch)), synced, 0)
+	var syncEnd int64
+	if syncT0 != 0 {
+		syncEnd = time.Now().UnixNano()
+	}
 	for i := range batch {
+		if batch[i].trace != 0 {
+			// ack-stage: parked waiting for the syncer to pick the batch up;
+			// sync-wait: the shared fsync flight. b carries the batch size —
+			// how many acks this fsync amortized over.
+			s.opts.Trace.Record(batch[i].trace, obs.StageAckStage, 0,
+				batch[i].stagedNs, syncT0-batch[i].stagedNs, batch[i].resp.ID, uint64(len(batch)))
+			s.opts.Trace.Record(batch[i].trace, obs.StageSyncWait, 0,
+				syncT0, syncEnd-syncT0, batch[i].resp.ID, uint64(len(batch)))
+		}
 		batch[i].resp.Status = st
-		s.respond(batch[i].c, &batch[i].resp)
+		s.respond(batch[i].c, &batch[i].resp, batch[i].trace, batch[i].t0)
 	}
 }

@@ -77,6 +77,9 @@ const (
 	// (it carries a version field) so tooling like stmtop can evolve
 	// independently of the binary protocol.
 	OpStats
+	// OpTrace requests the server's sampled-trace span ring (empty body;
+	// reply: the obs.Tracer dump as JSON bytes, versioned like OpStats).
+	OpTrace
 )
 
 func (o Op) String() string {
@@ -97,6 +100,8 @@ func (o Op) String() string {
 		return "batch"
 	case OpStats:
 		return "stats"
+	case OpTrace:
+		return "trace"
 	}
 	return fmt.Sprintf("op(%d)", byte(o))
 }
@@ -258,7 +263,7 @@ func ParseRequest(p []byte) (Request, error) {
 	body := p[9:]
 	need := func(n int) bool { return len(body) == n }
 	switch req.Op {
-	case OpPing, OpSize, OpStats:
+	case OpPing, OpSize, OpStats, OpTrace:
 		if !need(0) {
 			return req, fmt.Errorf("wire: %s body has %d trailing bytes", req.Op, len(body))
 		}
@@ -349,7 +354,7 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 		for _, r := range resp.Results {
 			dst = append(dst, b2u(r))
 		}
-	case OpStats:
+	case OpStats, OpTrace:
 		dst = append(dst, resp.Blob...)
 	}
 	return dst
@@ -404,7 +409,7 @@ func ParseResponse(p []byte) (Response, error) {
 		for i, b := range body {
 			resp.Results[i] = b != 0
 		}
-	case OpStats:
+	case OpStats, OpTrace:
 		resp.Blob = append([]byte(nil), body...)
 	default:
 		return resp, fmt.Errorf("wire: unknown op %d in response", byte(resp.Op))

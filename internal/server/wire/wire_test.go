@@ -20,6 +20,8 @@ func TestRequestRoundTrip(t *testing.T) {
 			{Key: 1, Val: 2}, {Del: true, Key: 3}, {Key: 4, Val: 5},
 		}},
 		{ID: 8, Op: OpBatch, Batch: []BatchOp{}},
+		{ID: 9, Op: OpStats},
+		{ID: 10, Op: OpTrace},
 	}
 	for _, want := range reqs {
 		got, err := ParseRequest(AppendRequest(nil, &want))
@@ -45,6 +47,8 @@ func TestResponseRoundTrip(t *testing.T) {
 		{ID: 6, Op: OpBatch, Results: []bool{true, false, true}},
 		{ID: 7, Op: OpInsert, Status: StatusSevered},
 		{ID: 8, Op: OpBatch, Status: StatusCrossShard},
+		{ID: 9, Op: OpStats, Blob: []byte(`{"version":1}`)},
+		{ID: 10, Op: OpTrace, Blob: []byte(`{"version":1,"every":4,"spans":[]}`)},
 	}
 	for _, want := range resps {
 		got, err := ParseResponse(AppendResponse(nil, &want))
@@ -57,6 +61,9 @@ func TestResponseRoundTrip(t *testing.T) {
 		}
 		if len(want.Results) > 0 && want.Status == StatusOK && !reflect.DeepEqual(got.Results, want.Results) {
 			t.Fatalf("%s: results %v want %v", want.Op, got.Results, want.Results)
+		}
+		if len(want.Blob) > 0 && !reflect.DeepEqual(got.Blob, want.Blob) {
+			t.Fatalf("%s: blob %q want %q", want.Op, got.Blob, want.Blob)
 		}
 	}
 }

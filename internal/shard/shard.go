@@ -72,6 +72,7 @@ import (
 	"unsafe"
 
 	"repro/internal/gclock"
+	"repro/internal/obs"
 	"repro/internal/stm"
 )
 
@@ -258,6 +259,15 @@ func (t *Thread) ReadOnly(fn func(stm.Txn)) bool { return t.exec(fn, true) }
 func (t *Thread) Unregister() {
 	for _, th := range t.ths {
 		th.Unregister()
+	}
+}
+
+// SetTrace implements stm.TraceSetter by forwarding the tracing context to
+// every inner backend thread — the bound shard's transaction owns the retry
+// loop and the commit, so that is where the per-attempt spans come from.
+func (t *Thread) SetTrace(tr *obs.Tracer, id uint64) {
+	for _, th := range t.ths {
+		stm.SetTrace(th, tr, id)
 	}
 }
 

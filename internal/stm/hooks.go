@@ -2,6 +2,7 @@ package stm
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -9,11 +10,75 @@ import (
 // Hooks is the per-attempt side-effect buffer shared by every TM: abort
 // rollbacks, commit actions and revocable eventual-frees (paper §4.5). TM
 // transaction types embed Hooks to satisfy the corresponding Txn methods.
+//
+// Hooks also carries the transaction's tracing context: a caller that
+// sampled the request (the server's worker loop) plants a tracer and trace
+// id via SetTrace before running the transaction, and the TM's retry loop
+// emits one StageAttempt span per attempt through TraceBegin/TraceAttempt.
+// The trace fields outlive Reset — they describe the whole transaction, not
+// one attempt — and are cleared only by the next SetTrace.
 type Hooks struct {
 	abortFns  []func()
 	commitFns []func()
 	freeFns   []func()
 	redo      []RedoRec
+
+	tracer    *obs.Tracer
+	traceID   uint64
+	attemptNs int64
+}
+
+// SetTrace plants (or, with id 0, clears) the transaction's tracing
+// context. Callers set it before the TM's run loop starts and clear it when
+// the traced request is done, so a reused thread never leaks a trace id
+// into the next request's transaction.
+func (h *Hooks) SetTrace(tr *obs.Tracer, id uint64) {
+	h.tracer = tr
+	h.traceID = id
+	h.attemptNs = 0
+}
+
+// TraceID returns the planted trace id (0 = untraced). TMs thread it into
+// ObserveCommit so the WAL can stamp it into the redo record header.
+func (h *Hooks) TraceID() uint64 { return h.traceID }
+
+// TraceBegin stamps the attempt's start time. TM begin paths call it once
+// per attempt, right after Reset. No-op when untraced.
+func (h *Hooks) TraceBegin() {
+	if h.tracer == nil || h.traceID == 0 {
+		return
+	}
+	h.attemptNs = time.Now().UnixNano()
+}
+
+// TraceAttempt closes the attempt opened by TraceBegin with one
+// StageAttempt span: src identifies the TM instance (shard index), attempt
+// is the 1-based retry ordinal, and reason is 0 for a committed attempt or
+// AbortReason+1 for an aborted one. No-op when untraced.
+func (h *Hooks) TraceAttempt(src uint64, attempt int, reason uint64) {
+	if h.tracer == nil || h.traceID == 0 || h.attemptNs == 0 {
+		return
+	}
+	start := h.attemptNs
+	h.attemptNs = 0
+	h.tracer.Record(h.traceID, obs.StageAttempt, src,
+		start, time.Now().UnixNano()-start, uint64(attempt), reason)
+}
+
+// TraceSetter is implemented by thread types whose transactions can carry a
+// tracing context (all Hooks-embedding backends, plus internal/shard's
+// routing wrapper, which forwards to every inner thread).
+type TraceSetter interface {
+	SetTrace(tr *obs.Tracer, id uint64)
+}
+
+// SetTrace plants a tracing context on th when its backend supports one,
+// and is a no-op otherwise. The server's worker loop calls it with the
+// sampled trace id before executing a request, then with (nil, 0) after.
+func SetTrace(th Thread, tr *obs.Tracer, id uint64) {
+	if ts, ok := th.(TraceSetter); ok {
+		ts.SetTrace(tr, id)
+	}
 }
 
 // OnAbort registers f to run (in reverse registration order) if the attempt

@@ -58,8 +58,12 @@ type RedoRec struct {
 //     duration of the call; observers must copy what they keep.
 //   - ObserveCommit blocking (an fsync, say) delays the commit's visibility
 //     to conflicting transactions but cannot affect its correctness.
+//
+// trace is the transaction's sampled trace id (0 = untraced); the WAL
+// stamps it into the record header so the span chain survives into
+// recovery tails and the shipping channel.
 type CommitObserver interface {
-	ObserveCommit(ts uint64, redo []RedoRec)
+	ObserveCommit(ts, trace uint64, redo []RedoRec)
 }
 
 // RedoLogger is implemented by the Txn types of TMs that support commit

@@ -118,6 +118,10 @@ func (t *thread) ReadOnly(fn func(stm.Txn)) bool { return t.run(fn, true) }
 // Unregister implements stm.Thread.
 func (t *thread) Unregister() { t.ebr.Unregister() }
 
+// SetTrace implements stm.TraceSetter: it plants a tracing context on the
+// thread's transaction so the retry loop emits per-attempt spans.
+func (t *thread) SetTrace(tr *obs.Tracer, id uint64) { t.txn.SetTrace(tr, id) }
+
 // snapshotAttempts bounds SnapshotAt retries: with no version lists to fall
 // back on, an address written at or above the pinned rv can never validate
 // again, so only transient lock-held races are worth riding out.
@@ -143,14 +147,17 @@ func (t *thread) SnapshotAt(ts uint64, fn func(stm.Txn)) bool {
 		t.ebr.Unpin()
 		switch oc {
 		case stm.Committed:
+			tx.TraceAttempt(uint64(t.sys.cfg.ObsID), attempt, 0)
 			tx.RunCommit(t.ebr.Retire)
 			t.ctr.Commits.Add(1)
 			t.ctr.ReadOnlyCommits.Add(1)
 			return true
 		case stm.Cancelled:
+			tx.TraceAttempt(uint64(t.sys.cfg.ObsID), attempt, uint64(tx.reason)+1)
 			tx.rollback()
 			return false
 		}
+		tx.TraceAttempt(uint64(t.sys.cfg.ObsID), attempt, uint64(tx.reason)+1)
 		tx.rollback()
 		t.ctr.Aborts.Add(1)
 		t.ctr.AbortReasons[tx.reason].Add(1)
@@ -175,6 +182,7 @@ func (t *thread) run(fn func(stm.Txn), readOnly bool) bool {
 		t.ebr.Unpin()
 		switch oc {
 		case stm.Committed:
+			tx.TraceAttempt(uint64(t.sys.cfg.ObsID), attempt, 0)
 			tx.RunCommit(t.ebr.Retire)
 			t.ctr.Commits.Add(1)
 			if readOnly {
@@ -182,9 +190,11 @@ func (t *thread) run(fn func(stm.Txn), readOnly bool) bool {
 			}
 			return true
 		case stm.Cancelled:
+			tx.TraceAttempt(uint64(t.sys.cfg.ObsID), attempt, uint64(tx.reason)+1)
 			tx.rollback()
 			return false
 		}
+		tx.TraceAttempt(uint64(t.sys.cfg.ObsID), attempt, uint64(tx.reason)+1)
 		tx.rollback()
 		t.ctr.Aborts.Add(1)
 		t.ctr.AbortReasons[tx.reason].Add(1)
@@ -198,6 +208,7 @@ func (t *thread) run(fn func(stm.Txn), readOnly bool) bool {
 
 func (tx *txn) begin(readOnly bool) {
 	tx.Reset()
+	tx.TraceBegin()
 	tx.readOnly = readOnly
 	tx.reason = obs.ReasonUnknown
 	tx.reads = tx.reads[:0]
@@ -307,7 +318,7 @@ func (tx *txn) commit() {
 	// can abort this commit and no conflicting commit can observe first.
 	if co := sys.cfg.OnCommit; co != nil {
 		if redo := tx.Redo(); len(redo) > 0 {
-			co.ObserveCommit(wv, redo)
+			co.ObserveCommit(wv, tx.TraceID(), redo)
 		}
 	}
 	for _, l := range tx.locked {

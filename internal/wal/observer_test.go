@@ -22,7 +22,7 @@ type collectObs struct {
 	events []obsEvent
 }
 
-func (o *collectObs) ObserveCommit(ts uint64, redo []stm.RedoRec) {
+func (o *collectObs) ObserveCommit(ts, trace uint64, redo []stm.RedoRec) {
 	o.mu.Lock()
 	o.events = append(o.events, obsEvent{ts: ts, redo: append([]stm.RedoRec(nil), redo...)})
 	o.mu.Unlock()

@@ -14,7 +14,14 @@ import (
 //
 //	header:  8B magic "WALSEG01" | u32 version | u32 shard
 //	record:  u32 payloadLen | u32 crc32c(payload) | payload
-//	payload: u64 commitTs | u32 opCount | opCount × (u8 op, u64 key, u64 val)
+//	payload: u64 commitTs | u64 traceId | u32 opCount
+//	         | opCount × (u8 op, u64 key, u64 val)
+//
+// traceId (format v2) is the commit's sampled trace id, 0 for the untraced
+// overwhelming majority; it rides the record so the shipping channel and a
+// follower's replay can attribute replica-apply latency to the originating
+// request. Version 1 images (no traceId) predate the first release and are
+// not read back — recovery treats them like any other unrecognized header.
 //
 // Checkpoint file (ck-XXXXXXXXXXXXXXXX.ckpt, name hex-encodes the frozen ts):
 //
@@ -36,11 +43,11 @@ const (
 	segMagic  = "WALSEG01"
 	ckptMagic = "WALCKP01"
 
-	formatVersion = 1
+	formatVersion = 2
 
 	segHeaderSize  = 16
 	recFrameSize   = 8  // payloadLen + crc
-	recFixedSize   = 12 // ts + opCount
+	recFixedSize   = 20 // ts + traceId + opCount
 	opSize         = 17
 	ckptHeaderSize = 40
 	ckptEntrySize  = 17
@@ -58,8 +65,9 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // record is one decoded WAL record: the commit timestamp and the logical
 // redo of one committed transaction.
 type record struct {
-	ts   uint64
-	redo []stm.RedoRec
+	ts    uint64
+	trace uint64
+	redo  []stm.RedoRec
 }
 
 // appendSegHeader appends a segment header for the given shard stream.
@@ -71,13 +79,14 @@ func appendSegHeader(buf []byte, shard int) []byte {
 }
 
 // appendRecord appends one framed, checksummed record.
-func appendRecord(buf []byte, ts uint64, redo []stm.RedoRec) []byte {
+func appendRecord(buf []byte, ts, trace uint64, redo []stm.RedoRec) []byte {
 	payloadLen := recFixedSize + opSize*len(redo)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(payloadLen))
 	crcAt := len(buf)
 	buf = binary.LittleEndian.AppendUint32(buf, 0) // crc patched below
 	payloadAt := len(buf)
 	buf = binary.LittleEndian.AppendUint64(buf, ts)
+	buf = binary.LittleEndian.AppendUint64(buf, trace)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(redo)))
 	for _, r := range redo {
 		buf = append(buf, byte(r.Op))
@@ -130,7 +139,8 @@ func decodeRecordsAt(data []byte, off int) (recs []record, validLen int, torn bo
 			return recs, off, true
 		}
 		ts := binary.LittleEndian.Uint64(payload)
-		n := int(binary.LittleEndian.Uint32(payload[8:]))
+		trace := binary.LittleEndian.Uint64(payload[8:])
+		n := int(binary.LittleEndian.Uint32(payload[16:]))
 		if recFixedSize+opSize*n != payloadLen {
 			return recs, off, true
 		}
@@ -148,7 +158,7 @@ func decodeRecordsAt(data []byte, off int) (recs []record, validLen int, torn bo
 			}
 			p += opSize
 		}
-		recs = append(recs, record{ts: ts, redo: redo})
+		recs = append(recs, record{ts: ts, trace: trace, redo: redo})
 		off += recFrameSize + payloadLen
 	}
 }

@@ -53,6 +53,7 @@ type shipTail struct {
 type ShipRec struct {
 	Shard int
 	Ts    uint64
+	Trace uint64 // sampled trace id from the record header (0 = untraced)
 	Redo  []stm.RedoRec
 }
 
@@ -283,7 +284,7 @@ func (r *ShipReader) pollTail(sd string, t *shipTail) (out []ShipRec, lost bool,
 			if rec.ts < r.baseTs {
 				continue // already inside the base image
 			}
-			out = append(out, ShipRec{Shard: t.shard, Ts: rec.ts, Redo: rec.redo})
+			out = append(out, ShipRec{Shard: t.shard, Ts: rec.ts, Trace: rec.trace, Redo: rec.redo})
 		}
 		// Anything past validLen is a torn tail: on a sealed segment
 		// (successor exists) it is about to be truncated and re-appended to

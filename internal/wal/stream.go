@@ -72,7 +72,22 @@ type stream struct {
 	closed     bool
 
 	retainedG atomic.Uint64 // gauge: records retained past a failed flush
+
+	// pend holds the append times of traced records awaiting their covering
+	// fsync, so a successful sync flush can close one wal-coalesce and one
+	// wal-fsync span per traced record. Bounded: sampled records are rare by
+	// construction, and an overflowing entry just loses its WAL spans.
+	pend []pendTrace
 }
+
+// pendTrace is one traced record waiting for its covering fsync.
+type pendTrace struct {
+	trace uint64
+	ns    int64 // append completion, UnixNano
+}
+
+// maxPendTraces bounds the per-stream pend list.
+const maxPendTraces = 1024
 
 // unsyncedSeg is one sealed-without-fsync segment (SyncNone rotations) and
 // how many records it carries — the stream's fsync debt, itemized.
@@ -145,16 +160,28 @@ func (s *stream) openSegmentLocked() error {
 // stm.CommitObserver for why that placement makes prefix cuts of the stream
 // consistent. A severed (crashed) log drops the record — exactly what a
 // dead process would do.
-func (s *stream) ObserveCommit(ts uint64, redo []stm.RedoRec) {
+func (s *stream) ObserveCommit(ts, trace uint64, redo []stm.RedoRec) {
 	if s.l.severed.Load() {
 		s.l.droppedAppends.Add(1)
 		return
 	}
+	var t0 int64
+	traced := trace != 0 && s.l.trace != nil
+	if traced {
+		t0 = time.Now().UnixNano()
+	}
 	s.mu.Lock()
-	s.buf = appendRecord(s.buf, ts, redo)
+	s.buf = appendRecord(s.buf, ts, trace, redo)
 	s.bufRecs++
 	if ts > s.seg.maxTs {
 		s.seg.maxTs = ts
+	}
+	if traced {
+		now := time.Now().UnixNano()
+		s.l.trace.Record(trace, obs.StageWalAppend, uint64(s.shard), t0, now-t0, ts, 0)
+		if len(s.pend) < maxPendTraces {
+			s.pend = append(s.pend, pendTrace{trace: trace, ns: now})
+		}
 	}
 	s.l.records.Add(1)
 	switch {
@@ -232,6 +259,10 @@ func (s *stream) flushLocked(sync bool) error {
 		s.buf = s.buf[:0]
 		s.bufRecs = 0
 	}
+	var preFsyncNs int64
+	if sync && len(s.pend) > 0 {
+		preFsyncNs = time.Now().UnixNano()
+	}
 	if sync {
 		if err := s.fsyncLocked(); err != nil {
 			return s.failLocked(err)
@@ -245,6 +276,16 @@ func (s *stream) flushLocked(sync bool) error {
 	s.healLocked()
 	if sync && batch > 0 {
 		s.l.rec.Record(obs.EvGroupCommit, uint64(s.shard), uint64(batch), 0)
+		if len(s.pend) > 0 {
+			endNs := time.Now().UnixNano()
+			for _, p := range s.pend {
+				s.l.trace.Record(p.trace, obs.StageWalCoalesce, uint64(s.shard),
+					p.ns, preFsyncNs-p.ns, uint64(batch), 0)
+				s.l.trace.Record(p.trace, obs.StageWalFsync, uint64(s.shard),
+					preFsyncNs, endNs-preFsyncNs, uint64(batch), 0)
+			}
+			s.pend = s.pend[:0]
+		}
 	}
 	return nil
 }

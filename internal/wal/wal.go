@@ -265,6 +265,10 @@ type Options struct {
 	// transitions, checkpoint lifecycle, group-commit batch sizes, and (via
 	// the TM configs) abort and mode-switch events from every shard.
 	Rec *obs.Recorder
+	// Trace, when non-nil, receives per-stage spans for sampled commits:
+	// wal-append in ObserveCommit, wal-coalesce and wal-fsync when the
+	// covering group-commit flush lands.
+	Trace *obs.Tracer
 }
 
 func (o *Options) fill() error {
@@ -394,7 +398,8 @@ type Log struct {
 	streams []*stream
 	snapThs []stm.SnapshotThread // checkpointer's per-shard pinned readers
 
-	rec *obs.Recorder // flight recorder (nil-safe); copied from Options.Rec
+	rec   *obs.Recorder // flight recorder (nil-safe); copied from Options.Rec
+	trace *obs.Tracer   // span tracer (nil-safe); copied from Options.Trace
 
 	severed    atomic.Bool
 	closedFlag atomic.Bool // mirrors closed for lock-free reads (stall loops)
@@ -468,7 +473,7 @@ func OpenWith(opts Options) (m ds.Map, l *Log, err error) {
 		return nil, nil, err
 	}
 
-	l = &Log{opts: opts, fs: fsys, rec: opts.Rec, stopFlush: make(chan struct{})}
+	l = &Log{opts: opts, fs: fsys, rec: opts.Rec, trace: opts.Trace, stopFlush: make(chan struct{})}
 	l.recoveredPairs = len(rec.image)
 	l.recoveredTs = rec.ckptTs
 	l.lastCkptTs.Store(rec.ckptTs)

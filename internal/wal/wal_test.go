@@ -342,19 +342,19 @@ func TestReshardOnReopen(t *testing.T) {
 func TestSegmentEncodingRoundTrip(t *testing.T) {
 	buf := appendSegHeader(nil, 3)
 	recs := []record{
-		{ts: 10, redo: []stm.RedoRec{{Op: stm.RedoInsert, Key: 1, Val: 2}}},
+		{ts: 10, trace: 77, redo: []stm.RedoRec{{Op: stm.RedoInsert, Key: 1, Val: 2}}},
 		{ts: 11, redo: []stm.RedoRec{{Op: stm.RedoDelete, Key: 1}, {Op: stm.RedoInsert, Key: 9, Val: 8}}},
-		{ts: 11, redo: nil},
+		{ts: 11, trace: 3, redo: nil},
 	}
 	for _, r := range recs {
-		buf = appendRecord(buf, r.ts, r.redo)
+		buf = appendRecord(buf, r.ts, r.trace, r.redo)
 	}
 	got, validLen, torn := decodeRecords(buf)
 	if torn || validLen != len(buf) || len(got) != len(recs) {
 		t.Fatalf("clean decode: got %d recs, torn=%v, validLen=%d/%d", len(got), torn, validLen, len(buf))
 	}
 	for i := range recs {
-		if got[i].ts != recs[i].ts || len(got[i].redo) != len(recs[i].redo) {
+		if got[i].ts != recs[i].ts || got[i].trace != recs[i].trace || len(got[i].redo) != len(recs[i].redo) {
 			t.Fatalf("record %d diverged: %+v vs %+v", i, got[i], recs[i])
 		}
 		for j := range recs[i].redo {
